@@ -1,0 +1,8 @@
+"""Pytest wiring for the benches (fixtures live in _bench_common)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _bench_common import campaign_results  # noqa: F401  (session fixture)

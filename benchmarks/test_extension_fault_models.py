@@ -1,0 +1,67 @@
+"""Bench (extension): software vs hardware vs operator faults.
+
+The paper's conclusion sketches the full dependability benchmark as the
+software faultload *plus* hardware and operator fault models.  This bench
+runs all three classes against the same Apache/NT5.0 machine with the
+same slot structure and prints the familiar measures per class — the
+comparison the sketched benchmark would report.
+"""
+
+import pytest
+
+from _bench_common import bench_config
+
+from repro.extensions.experiment import ExtendedFaultCampaign
+from repro.extensions.statefaults import standard_extension_faultload
+from repro.harness.experiment import WebServerExperiment
+from repro.reporting.tables import TableBuilder
+
+
+def _run_all_classes():
+    config = bench_config()
+    config.fault_sample = 36
+
+    software = WebServerExperiment(config).run_injection(iteration=1)
+
+    campaign = ExtendedFaultCampaign(
+        config, faults=standard_extension_faultload(repetitions=6)
+    )
+    state_results = campaign.run(iteration=1)
+    return software, state_results
+
+
+def test_extension_fault_models(benchmark):
+    software, state_results = benchmark.pedantic(
+        _run_all_classes, rounds=1, iterations=1
+    )
+    table = TableBuilder(
+        ["Fault class", "faults", "SPC", "THR", "ER%",
+         "MIS", "KNS", "KCP"],
+        title="Extension - fault classes compared (apache on NT 5.0)",
+    )
+    table.add_row(
+        "software (G-SWFIT)", software.faults_injected,
+        f"{software.metrics.spc:.1f}", f"{software.metrics.thr:.1f}",
+        f"{software.metrics.er_percent:.1f}",
+        software.mis, software.kns, software.kcp,
+    )
+    for fault_class, result in sorted(state_results.items()):
+        table.add_row(
+            fault_class, result.faults_injected,
+            f"{result.metrics.spc:.1f}", f"{result.metrics.thr:.1f}",
+            f"{result.metrics.er_percent:.1f}",
+            result.mis, result.kns, result.kcp,
+        )
+    print()
+    print(table.render())
+
+    operator = state_results["operator"]
+    hardware = state_results["hardware"]
+    # Every mistaken kill needs an administrator: operator faults are
+    # intervention-heavy relative to their error footprint.
+    assert operator.mis >= 6  # one per MistakenProcessKill repetition
+    # Hardware faults corrupt service (errors) more than they kill it.
+    assert hardware.metrics.er_percent > 0
+    assert hardware.mis <= operator.mis
+    # The software faultload degrades service too (sanity anchor).
+    assert software.metrics.er_percent > 0

@@ -1,0 +1,33 @@
+"""Bench: regenerate Table 1 (representative fault types).
+
+Table 1 is the field-data foundation of the faultload: the twelve fault
+types, their ODC classes and their share of all residual field faults,
+totalling ~50.69%.
+"""
+
+import pytest
+
+from repro.faults.fielddata import total_field_coverage
+from repro.faults.types import fault_type_info, iter_fault_types
+from repro.reporting.paper import PAPER
+from repro.reporting.report import table1_fault_types
+
+
+def _regenerate():
+    table = table1_fault_types()
+    coverage = total_field_coverage()
+    return table, coverage
+
+
+def test_table1_fault_types(benchmark):
+    table, coverage = benchmark(_regenerate)
+    print()
+    print(table.render())
+    # Exact agreement is expected here: Table 1 is field data the
+    # reproduction embeds, not something measured on the simulator.
+    assert coverage == pytest.approx(PAPER["table1"]["total"], abs=0.01)
+    for fault_type in iter_fault_types():
+        info = fault_type_info(fault_type)
+        assert info.field_coverage_percent == pytest.approx(
+            PAPER["table1"][fault_type.value]
+        )

@@ -1,0 +1,78 @@
+"""Building and inspecting custom faultloads.
+
+Faultloads are plain, serializable artifacts: you can scan, filter by
+fault type or target function, save them to JSON, reload them on another
+machine, and inspect exactly which mutation any entry performs — the
+properties that make a faultload a *benchmark component* rather than a
+test run.
+
+Run with:  python examples/custom_faultload.py
+"""
+
+import difflib
+import inspect
+import tempfile
+import textwrap
+from pathlib import Path
+
+from repro import Faultload, scan_build
+from repro.faults.types import FaultType
+from repro.gswfit.mutator import mutated_source, resolve_function
+from repro.ossim.builds import NT51
+
+
+def main():
+    # ------------------------------------------------------------------
+    # Scan and slice.
+    # ------------------------------------------------------------------
+    raw = scan_build(NT51)
+    print(f"Raw faultload for {NT51.display_name}: {len(raw)} faults")
+
+    checking_only = raw.restrict_to_types(
+        [FaultType.MIA, FaultType.MLAC, FaultType.WLEC]
+    )
+    print(f"Checking-class faults only (MIA/MLAC/WLEC): "
+          f"{len(checking_only)}")
+
+    heap_only = raw.restrict_to_functions(
+        ["RtlAllocateHeap", "RtlFreeHeap", "RtlSizeHeap"]
+    )
+    print(f"Heap-service faults only: {len(heap_only)} in "
+          f"{heap_only.functions()}")
+
+    small = raw.sample(25, seed=7).interleave_types()
+    print(f"Stratified 25-fault sample keeps "
+          f"{sum(1 for c in small.counts_by_type().values() if c)} "
+          f"of 12 fault types")
+
+    # ------------------------------------------------------------------
+    # Serialize and reload: the faultload is the portable artifact.
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "heap_faults.json"
+        heap_only.save(path)
+        reloaded = Faultload.load(path)
+        assert [l.fault_id for l in reloaded] == [
+            l.fault_id for l in heap_only
+        ]
+        print(f"\nSaved and reloaded {len(reloaded)} faults "
+              f"({path.stat().st_size} bytes of JSON)")
+
+    # ------------------------------------------------------------------
+    # Inspect a mutant as a source diff.
+    # ------------------------------------------------------------------
+    location = heap_only[0]
+    print(f"\nMutation performed by {location.fault_id}:")
+    print(f"  ({location.description})\n")
+    function = resolve_function(location)
+    original = textwrap.dedent(inspect.getsource(function)).splitlines()
+    mutant = mutated_source(location).splitlines()
+    for line in difflib.unified_diff(
+        original, mutant, lineterm="",
+        fromfile="pristine", tofile="mutated", n=2,
+    ):
+        print(f"    {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""The methodology on a second domain: OLTP dependability benchmarking.
+
+The paper closes by claiming its faultloads "can be used in other
+experimental contexts, for example, DBMS dependability benchmarking".
+This example does it: the same OS build and the same G-SWFIT engine
+benchmark two transactional database engines — WalnutDB (write-ahead
+logging, supervised) against BreezyDB (write-back cache, no WAL) — and
+the client audits *integrity* on top of the performance measures: does a
+crash lose transactions the engine had already acknowledged?
+
+Run with:  python examples/oltp_benchmark.py
+"""
+
+from repro.harness.config import ExperimentConfig
+from repro.oltp import OltpExperiment
+from repro.reporting.tables import TableBuilder
+
+
+def main():
+    # Step 1+2 of the methodology, re-done for this domain: profile the
+    # database engines (not the web servers!) and fine-tune the faultload
+    # to the API functions both engines actually exercise.
+    base_config = ExperimentConfig.scaled(
+        fault_sample=56, connections=10
+    )
+    base_config.server_name = "walnut"
+    print("Fine-tuning the faultload for the OLTP domain...")
+    tuned = OltpExperiment(base_config).domain_tuned_faultload(
+        profile_seconds=20.0
+    )
+    print(f"  {len(tuned)} fault locations in the engines' common "
+          f"API footprint: {', '.join(tuned.functions()[:6])}, ...")
+
+    table = TableBuilder(
+        ["Engine", "Row", "TPS", "RTM(ms)", "ER%",
+         "violations", "MIS", "KNS", "KCP"],
+        title="OLTP dependability benchmark (NT 5.0, same faultload)",
+    )
+    for engine in ("walnut", "breezy"):
+        config = base_config.with_target(server_name=engine)
+        experiment = OltpExperiment(config)
+        print(f"... benchmarking {engine}")
+        baseline = experiment.run_baseline()
+        table.add_row(engine, "baseline",
+                      f"{baseline.tps:.1f}", f"{baseline.rtm_ms:.1f}",
+                      f"{baseline.er_percent:.2f}",
+                      baseline.integrity_violations, 0, 0, 0)
+        for iteration in (1, 2):
+            result = experiment.run_injection(
+                faultload=tuned, iteration=iteration
+            )
+            metrics = result.metrics
+            table.add_row(engine, f"iteration {iteration}",
+                          f"{metrics.tps:.1f}", f"{metrics.rtm_ms:.1f}",
+                          f"{metrics.er_percent:.2f}",
+                          metrics.integrity_violations,
+                          result.mis, result.kns, result.kcp)
+    print()
+    print(table.render())
+    print(
+        "\nReading: BreezyDB is faster when nothing goes wrong, but "
+        "under the same software faultload it silently loses "
+        "acknowledged transactions (the violations column), while "
+        "WalnutDB's write-ahead log keeps integrity at zero — at the "
+        "price of lower baseline throughput.  The faultload method is "
+        "the paper's; only the benchmark targets changed."
+    )
+
+
+if __name__ == "__main__":
+    main()

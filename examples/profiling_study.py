@@ -1,0 +1,58 @@
+"""The profiling phase: which OS services do web servers actually use?
+
+Reproduces the methodology's fine-tuning study (the paper's Table 2):
+trace the OS API calls of four different web servers under the same
+workload, apply the two selection rules (used by *all* servers,
+non-negligible share of calls), and restrict the faultload to the
+selected services.
+
+Run with:  python examples/profiling_study.py
+"""
+
+from repro import ExperimentConfig
+from repro.harness.experiment import profile_servers
+from repro.pipeline import FaultloadPipeline
+from repro.profiling.usage import UsageTable
+from repro.reporting.report import table2_api_usage
+from repro.webservers.registry import PROFILING_SERVERS
+
+
+def main():
+    config = ExperimentConfig.scaled(connections=10)
+
+    print(f"Profiling {', '.join(PROFILING_SERVERS)} under the "
+          f"SPECWeb-like workload...")
+    tracers = profile_servers(config, PROFILING_SERVERS, seconds=30.0)
+    for name, tracer in tracers.items():
+        print(f"  {name:7s}: {tracer.total_calls} API calls, "
+              f"{len(tracer.counts)} distinct functions")
+
+    usage = UsageTable.from_tracers(tracers)
+    print()
+    print(table2_api_usage(usage).render())
+
+    selected = usage.select_relevant()
+    print(f"\n{len(selected)} functions selected "
+          f"(used by all four servers, non-negligible traffic), "
+          f"covering {usage.total_call_coverage():.1f}% of all calls.")
+
+    rejected_examples = sorted(
+        row.function for row in usage.rows()
+        if row not in selected
+    )[:8]
+    print(f"Examples of rejected functions: "
+          f"{', '.join(rejected_examples)}")
+
+    # Apply the selection to the faultload (the full pipeline caches the
+    # profiling result we already have).
+    pipeline = FaultloadPipeline(config)
+    pipeline.scan()
+    pipeline.usage_table = usage
+    tuned = pipeline.tune()
+    print(f"\nFaultload: {len(pipeline.raw_faultload)} raw locations "
+          f"-> {len(tuned)} after fine-tuning "
+          f"({100 * len(tuned) / len(pipeline.raw_faultload):.0f}% kept)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: scan an OS build, inject one software fault, watch it bite.
+
+Walks the three core moves of the library in about a minute:
+
+1. G-SWFIT step 1 — scan the simulated OS for fault locations;
+2. G-SWFIT step 2 — hot-swap one mutation into the *running* OS;
+3. observe the consequence end to end through a web server under load.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, FaultInjector, scan_build
+from repro.faults.types import FaultType
+from repro.gswfit.mutator import mutated_source
+from repro.harness.machine import ServerMachine
+from repro.ossim.builds import NT50
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. Scan the FIT (the OS build) for injectable fault locations.
+    # ------------------------------------------------------------------
+    faultload = scan_build(NT50)
+    print(f"Scanned {NT50.display_name}: {len(faultload)} fault locations")
+    counts = faultload.counts_by_type()
+    top3 = sorted(counts, key=counts.get, reverse=True)[:3]
+    print("Most common fault types:",
+          ", ".join(f"{ft.value} ({counts[ft]})" for ft in top3))
+
+    # Pick one MIA fault in the file-read service: a missing 'if' around
+    # its end-of-file guard.
+    location = next(
+        loc for loc in faultload
+        if loc.function == "NtReadFile"
+        and loc.fault_type is FaultType.MIA
+    )
+    print(f"\nChosen fault: {location.fault_id}")
+    print(f"  {location.description} (line {location.lineno})")
+
+    # ------------------------------------------------------------------
+    # 2. Boot a machine: OS + Apache-like server + SPECWeb-like client.
+    # ------------------------------------------------------------------
+    config = ExperimentConfig.smoke()
+    machine = ServerMachine(config)
+    machine.boot()
+    machine.client.start()
+    machine.run_for(10.0)  # healthy warm-up
+    healthy_ops = machine.client.total_ops()
+    print(f"\nHealthy server: {healthy_ops} operations served, "
+          f"{machine.client.total_errors()} errors")
+
+    # ------------------------------------------------------------------
+    # 3. Inject the fault into the live OS, then restore it.
+    # ------------------------------------------------------------------
+    injector = FaultInjector(os_instances=[machine.os_instance])
+    with injector.injected(location):
+        machine.run_for(10.0)
+    faulty_errors = machine.client.total_errors()
+    print(f"With the fault injected for 10 s: "
+          f"{faulty_errors} errors accumulated")
+
+    machine.run_for(10.0)
+    print(f"After restoration: "
+          f"{machine.client.total_errors() - faulty_errors} new errors "
+          f"(the OS code is pristine again)")
+
+    # Show what the mutation actually did to the OS source.
+    print("\nFirst lines of the mutated NtReadFile:")
+    for line in mutated_source(location).splitlines()[:12]:
+        print(f"    {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,269 @@
+"""Command-line interface: ``repro-bench`` / ``python -m repro``.
+
+Subcommands mirror the methodology's steps and the paper's exhibits:
+
+* ``scan``      — G-SWFIT step 1: scan an OS build, print/save the faultload
+* ``profile``   — profiling phase: print the Table 2 analogue
+* ``faultload`` — full pipeline: scan + profile + fine-tune (Table 3 row)
+* ``run``       — one server/OS campaign (Table 5 rows)
+* ``tables``    — regenerate every table for a scaled campaign
+"""
+
+import argparse
+import json
+import sys
+
+from repro.faults.faultload import Faultload
+from repro.faults.types import iter_fault_types
+from repro.gswfit.scanner import scan_build
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import WebServerExperiment, profile_servers
+from repro.harness.metrics import DependabilityMetrics
+from repro.ossim.builds import ALL_BUILDS, get_build
+from repro.pipeline import FaultloadPipeline
+from repro.profiling.usage import UsageTable
+from repro.reporting.report import (
+    table1_fault_types,
+    table2_api_usage,
+    table3_faultload_details,
+    table5_results,
+)
+from repro.webservers.registry import (
+    BENCHMARKED_SERVERS,
+    PROFILING_SERVERS,
+    server_names,
+)
+
+__all__ = ["main"]
+
+
+def _add_common(parser):
+    parser.add_argument(
+        "--os", dest="os_codename", default="nt50",
+        choices=sorted(ALL_BUILDS),
+        help="OS build to target (default: nt50)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2004, help="base random seed"
+    )
+
+
+def _make_config(args, **overrides):
+    config = ExperimentConfig.scaled(**overrides)
+    config.os_codename = args.os_codename
+    config.seed = args.seed
+    return config
+
+
+def _cmd_scan(args):
+    build = get_build(args.os_codename)
+    faultload = scan_build(build)
+    counts = faultload.counts_by_type()
+    print(f"Scanned {build.display_name}: {len(faultload)} fault locations")
+    for fault_type in iter_fault_types():
+        print(f"  {fault_type.value:5s} {counts[fault_type]}")
+    if args.validate:
+        from repro.faults.validate import validate_faultload
+
+        report = validate_faultload(faultload)
+        print(report)
+        if not report.ok:
+            return 1
+    if args.output:
+        faultload.save(args.output)
+        print(f"faultload written to {args.output}")
+    return 0
+
+
+def _cmd_profile(args):
+    config = _make_config(args)
+    tracers = profile_servers(
+        config, PROFILING_SERVERS, seconds=args.seconds
+    )
+    usage = UsageTable.from_tracers(tracers)
+    print(table2_api_usage(usage).render())
+    return 0
+
+
+def _cmd_faultload(args):
+    config = _make_config(args)
+    pipeline = FaultloadPipeline(config, profile_seconds=args.seconds)
+    tuned = pipeline.run()
+    build = get_build(args.os_codename)
+    print(table3_faultload_details({build.display_name: tuned}).render())
+    if args.output:
+        tuned.save(args.output)
+        print(f"tuned faultload written to {args.output}")
+    return 0
+
+
+def _cmd_run(args):
+    config = _make_config(
+        args, fault_sample=args.faults, connections=args.connections
+    )
+    config.server_name = args.server
+    experiment = WebServerExperiment(config)
+    result = experiment.run_campaign()
+    build = get_build(args.os_codename)
+    key = (build.display_name, args.server)
+    print(table5_results({key: result}).render())
+    metrics = DependabilityMetrics.from_results(result)
+    print()
+    print("Dependability metrics:")
+    print(json.dumps(metrics.as_dict(), indent=2))
+    if args.export:
+        from repro.reporting.export import export_campaign
+
+        written = export_campaign(result, args.export, config=config)
+        print(f"results exported: "
+              f"{', '.join(str(path) for path in written)}")
+    return 0
+
+
+def _cmd_oltp(args):
+    from repro.oltp import OltpExperiment
+    from repro.reporting.tables import TableBuilder
+
+    config = _make_config(
+        args, fault_sample=args.faults, connections=args.connections
+    )
+    config.server_name = "walnut"
+    print("fine-tuning the faultload for the OLTP domain...")
+    tuned = OltpExperiment(config).domain_tuned_faultload(
+        profile_seconds=args.seconds
+    )
+    table = TableBuilder(
+        ["Engine", "Row", "TPS", "RTM(ms)", "ER%", "violations",
+         "MIS", "KNS", "KCP"],
+        title="OLTP dependability benchmark",
+    )
+    for engine in ("walnut", "breezy"):
+        experiment = OltpExperiment(
+            config.with_target(server_name=engine)
+        )
+        baseline = experiment.run_baseline()
+        table.add_row(engine, "baseline", f"{baseline.tps:.1f}",
+                      f"{baseline.rtm_ms:.1f}",
+                      f"{baseline.er_percent:.2f}",
+                      baseline.integrity_violations, 0, 0, 0)
+        result = experiment.run_injection(faultload=tuned, iteration=1)
+        metrics = result.metrics
+        table.add_row(engine, "faultload", f"{metrics.tps:.1f}",
+                      f"{metrics.rtm_ms:.1f}",
+                      f"{metrics.er_percent:.2f}",
+                      metrics.integrity_violations,
+                      result.mis, result.kns, result.kcp)
+    print(table.render())
+    return 0
+
+
+def _cmd_tables(args):
+    print(table1_fault_types().render())
+    print()
+    faultloads = {}
+    for codename in sorted(ALL_BUILDS):
+        build = get_build(codename)
+        faultloads[build.display_name] = scan_build(build)
+    print(table3_faultload_details(faultloads).render())
+    print()
+    results = {}
+    for codename in sorted(ALL_BUILDS):
+        for server in BENCHMARKED_SERVERS:
+            config = _make_config(
+                args, fault_sample=args.faults,
+                connections=args.connections,
+            )
+            config.os_codename = codename
+            config.server_name = server
+            experiment = WebServerExperiment(config)
+            build = get_build(codename)
+            results[(build.display_name, server)] = (
+                experiment.run_campaign()
+            )
+    print(table5_results(results).render())
+    return 0
+
+
+def build_parser():
+    """Construct the argparse parser for repro-bench."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Dependability benchmarking with software-fault faultloads "
+            "(DSN 2004 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    scan = subparsers.add_parser("scan", help="scan an OS build (step 1)")
+    _add_common(scan)
+    scan.add_argument("--output", help="write the faultload JSON here")
+    scan.add_argument(
+        "--validate", action="store_true",
+        help="verify every location builds a mutant before writing",
+    )
+    scan.set_defaults(func=_cmd_scan)
+
+    profile = subparsers.add_parser(
+        "profile", help="profile API usage of all servers (Table 2)"
+    )
+    _add_common(profile)
+    profile.add_argument(
+        "--seconds", type=float, default=40.0,
+        help="profiling workload duration per server",
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    faultload = subparsers.add_parser(
+        "faultload", help="full pipeline: scan+profile+tune (Table 3)"
+    )
+    _add_common(faultload)
+    faultload.add_argument("--seconds", type=float, default=40.0)
+    faultload.add_argument("--output")
+    faultload.set_defaults(func=_cmd_faultload)
+
+    run = subparsers.add_parser(
+        "run", help="benchmark one server/OS pair (Table 5)"
+    )
+    _add_common(run)
+    run.add_argument(
+        "--server", default="apache", choices=server_names()
+    )
+    run.add_argument("--faults", type=int, default=96,
+                     help="faultload subsample size (None-like: 0 = full)")
+    run.add_argument("--connections", type=int, default=16)
+    run.add_argument("--export", help="write results to this directory")
+    run.set_defaults(func=_cmd_run)
+
+    oltp = subparsers.add_parser(
+        "oltp", help="the OLTP case study (walnut vs breezy)"
+    )
+    _add_common(oltp)
+    oltp.add_argument("--faults", type=int, default=48)
+    oltp.add_argument("--connections", type=int, default=10)
+    oltp.add_argument("--seconds", type=float, default=15.0,
+                      help="profiling duration per engine")
+    oltp.set_defaults(func=_cmd_oltp)
+
+    tables = subparsers.add_parser(
+        "tables", help="regenerate all tables at scaled cost"
+    )
+    _add_common(tables)
+    tables.add_argument("--faults", type=int, default=64)
+    tables.add_argument("--connections", type=int, default=12)
+    tables.set_defaults(func=_cmd_tables)
+
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "faults", None) == 0:
+        args.faults = None
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

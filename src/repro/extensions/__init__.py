@@ -1,0 +1,47 @@
+"""Additional fault models — the paper's sketched "full benchmark".
+
+The conclusion of the paper: "a full dependability benchmark for
+web-servers can be defined by adding more fault models (hardware faults,
+operator faults, etc.) and measures".  This package adds those two fault
+classes as *state-level* faults that plug into the same slot/watchdog
+harness the software faultload uses:
+
+* hardware faults (:mod:`repro.extensions.statefaults`):
+  heap-metadata corruption (a flipped bit in allocator bookkeeping),
+  disk read-error bursts (corrupted sector content), stale-handle faults;
+* operator faults: a mistaken ``kill`` of the server process, removal of
+  the server's configuration file, a full log volume.
+
+``repro.extensions.experiment`` runs a mixed campaign and reports the
+same SPC/THR/RTM/ER%/MIS/KNS/KCP measures per fault class.
+"""
+
+from repro.extensions.statefaults import (
+    ConfigFileRemoval,
+    DiskReadErrorBurst,
+    HeapMetadataCorruption,
+    LogVolumeFull,
+    MistakenProcessKill,
+    StaleHandleFault,
+    StateFault,
+    StateFaultInjector,
+    standard_extension_faultload,
+)
+from repro.extensions.experiment import (
+    ExtendedFaultCampaign,
+    FaultClassResult,
+)
+
+__all__ = [
+    "ConfigFileRemoval",
+    "DiskReadErrorBurst",
+    "ExtendedFaultCampaign",
+    "FaultClassResult",
+    "HeapMetadataCorruption",
+    "LogVolumeFull",
+    "MistakenProcessKill",
+    "StaleHandleFault",
+    "StateFault",
+    "StateFaultInjector",
+    "standard_extension_faultload",
+]

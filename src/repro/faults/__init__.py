@@ -1,0 +1,40 @@
+"""Fault model: the representative software fault types and faultloads.
+
+This package encodes the *what* of the methodology — the twelve
+field-data-derived fault types of the paper's Table 1, the notion of a
+fault location inside a scanned binary/module, and the faultload container
+that a dependability benchmark consumes.  The *how* (finding locations and
+applying mutations) lives in :mod:`repro.gswfit`.
+"""
+
+from repro.faults.types import (
+    ConstructNature,
+    FaultType,
+    FaultTypeInfo,
+    ODCType,
+    fault_type_info,
+    iter_fault_types,
+)
+from repro.faults.fielddata import (
+    FIELD_COVERAGE,
+    total_field_coverage,
+    coverage_by_odc_type,
+    coverage_by_nature,
+)
+from repro.faults.location import FaultLocation
+from repro.faults.faultload import Faultload
+
+__all__ = [
+    "ConstructNature",
+    "FIELD_COVERAGE",
+    "FaultLocation",
+    "FaultType",
+    "FaultTypeInfo",
+    "Faultload",
+    "ODCType",
+    "coverage_by_nature",
+    "coverage_by_odc_type",
+    "fault_type_info",
+    "iter_fault_types",
+    "total_field_coverage",
+]

@@ -1,0 +1,180 @@
+"""The representative software fault types (the paper's Table 1).
+
+The classification combines the *construct nature* (missing / wrong /
+extraneous construct — how the defect relates to the programming-language
+constructs of the program text) with the ODC defect type.  The twelve types
+below are the ones the field-data study behind the paper found to account
+for roughly half of all residual software faults; extraneous-construct
+faults were too rare to justify inclusion, so none appear here.
+"""
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "ConstructNature",
+    "FaultType",
+    "FaultTypeInfo",
+    "ODCType",
+    "fault_type_info",
+    "iter_fault_types",
+]
+
+
+class ConstructNature(enum.Enum):
+    """How the defect relates to the program text."""
+
+    MISSING = "missing"
+    WRONG = "wrong"
+    EXTRANEOUS = "extraneous"
+
+
+class ODCType(enum.Enum):
+    """Orthogonal Defect Classification defect types used by the paper."""
+
+    ASSIGNMENT = "Assignment"
+    CHECKING = "Checking"
+    ALGORITHM = "Algorithm"
+    INTERFACE = "Interface"
+    FUNCTION = "Function"
+
+
+class FaultType(enum.Enum):
+    """The twelve fault types of the faultload (paper Table 1)."""
+
+    MVI = "MVI"
+    MVAV = "MVAV"
+    MVAE = "MVAE"
+    MIA = "MIA"
+    MLAC = "MLAC"
+    MFC = "MFC"
+    MIFS = "MIFS"
+    MLPC = "MLPC"
+    WVAV = "WVAV"
+    WLEC = "WLEC"
+    WAEP = "WAEP"
+    WPFV = "WPFV"
+
+
+@dataclass(frozen=True)
+class FaultTypeInfo:
+    """Static metadata for one fault type."""
+
+    fault_type: FaultType
+    description: str
+    nature: ConstructNature
+    odc_type: ODCType
+    field_coverage_percent: float
+
+
+_INFOS = {
+    FaultType.MVI: FaultTypeInfo(
+        FaultType.MVI,
+        "Missing variable initialization",
+        ConstructNature.MISSING,
+        ODCType.ASSIGNMENT,
+        2.25,
+    ),
+    FaultType.MVAV: FaultTypeInfo(
+        FaultType.MVAV,
+        "Missing variable assignment using a value",
+        ConstructNature.MISSING,
+        ODCType.ASSIGNMENT,
+        2.25,
+    ),
+    FaultType.MVAE: FaultTypeInfo(
+        FaultType.MVAE,
+        "Missing variable assignment using an expression",
+        ConstructNature.MISSING,
+        ODCType.ASSIGNMENT,
+        3.0,
+    ),
+    FaultType.MIA: FaultTypeInfo(
+        FaultType.MIA,
+        'Missing "if (cond)" surrounding statement(s)',
+        ConstructNature.MISSING,
+        ODCType.CHECKING,
+        4.32,
+    ),
+    FaultType.MLAC: FaultTypeInfo(
+        FaultType.MLAC,
+        'Missing "AND EXPR" in expression used as branch condition',
+        ConstructNature.MISSING,
+        ODCType.CHECKING,
+        7.89,
+    ),
+    FaultType.MFC: FaultTypeInfo(
+        FaultType.MFC,
+        "Missing function call",
+        ConstructNature.MISSING,
+        ODCType.ALGORITHM,
+        8.64,
+    ),
+    FaultType.MIFS: FaultTypeInfo(
+        FaultType.MIFS,
+        'Missing "If (cond) { statement(s) }"',
+        ConstructNature.MISSING,
+        ODCType.ALGORITHM,
+        9.96,
+    ),
+    FaultType.MLPC: FaultTypeInfo(
+        FaultType.MLPC,
+        "Missing small and localized part of the algorithm",
+        ConstructNature.MISSING,
+        ODCType.ALGORITHM,
+        3.19,
+    ),
+    FaultType.WVAV: FaultTypeInfo(
+        FaultType.WVAV,
+        "Wrong value assigned to a variable",
+        ConstructNature.WRONG,
+        ODCType.ASSIGNMENT,
+        2.44,
+    ),
+    FaultType.WLEC: FaultTypeInfo(
+        FaultType.WLEC,
+        "Wrong logical expression used as branch condition",
+        ConstructNature.WRONG,
+        ODCType.CHECKING,
+        3.0,
+    ),
+    FaultType.WAEP: FaultTypeInfo(
+        FaultType.WAEP,
+        "Wrong arithmetic expression used in parameter of function call",
+        ConstructNature.WRONG,
+        ODCType.INTERFACE,
+        2.25,
+    ),
+    FaultType.WPFV: FaultTypeInfo(
+        FaultType.WPFV,
+        "Wrong variable used in parameter of function call",
+        ConstructNature.WRONG,
+        ODCType.INTERFACE,
+        1.5,
+    ),
+}
+
+
+def fault_type_info(fault_type):
+    """Return the :class:`FaultTypeInfo` for ``fault_type`` (or its name)."""
+    if isinstance(fault_type, str):
+        fault_type = FaultType(fault_type)
+    return _INFOS[fault_type]
+
+
+def iter_fault_types():
+    """All fault types in the paper's Table 1 order."""
+    return [
+        FaultType.MVI,
+        FaultType.MVAV,
+        FaultType.MVAE,
+        FaultType.MIA,
+        FaultType.MLAC,
+        FaultType.MFC,
+        FaultType.MIFS,
+        FaultType.MLPC,
+        FaultType.WVAV,
+        FaultType.WLEC,
+        FaultType.WAEP,
+        FaultType.WPFV,
+    ]

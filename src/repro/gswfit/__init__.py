@@ -1,0 +1,38 @@
+"""G-SWFIT: Generic Software Fault Injection Technique (AST-level port).
+
+The original technique scans *machine code* for instruction patterns that
+betray specific high-level constructs and mutates them in place so the
+binary looks as if the programmer had made the corresponding mistake.  The
+port here works one level up, on the Python AST of the simulated OS's API
+modules, but keeps the same two-step architecture:
+
+1. **Scan** (:mod:`repro.gswfit.scanner`): a library of mutation operators
+   (:mod:`repro.gswfit.operators`) — each a *search pattern* plus a
+   *mutation rule* with preconditions — walks every FIT function and emits
+   a map of fault locations (a :class:`~repro.faults.faultload.Faultload`).
+2. **Inject** (:mod:`repro.gswfit.injector`): at experiment time the
+   injector compiles the mutant for one location and hot-swaps it into the
+   *running* target via ``__code__`` replacement, then restores the
+   original afterwards — no process restart, matching the paper's
+   low-intrusiveness requirement.
+
+:mod:`repro.gswfit.interception` provides the classic error-interception
+injector as an ablation baseline for the accuracy discussion.
+"""
+
+from repro.gswfit.scanner import scan_build, scan_function, scan_module
+from repro.gswfit.mutator import build_mutant, mutated_source
+from repro.gswfit.injector import FaultInjector, FitBoundaryError
+from repro.gswfit.operators import operator_for, operator_library
+
+__all__ = [
+    "FaultInjector",
+    "FitBoundaryError",
+    "build_mutant",
+    "mutated_source",
+    "operator_for",
+    "operator_library",
+    "scan_build",
+    "scan_function",
+    "scan_module",
+]

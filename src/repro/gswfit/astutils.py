@@ -1,0 +1,166 @@
+"""AST plumbing shared by the scanner and the mutator.
+
+The central object is :class:`FunctionImage`: the parsed, indexed source of
+one FIT function.  Nodes are addressed by their position in a deterministic
+walk of the tree, so a site found during scanning can be relocated in a
+fresh deep copy during mutation, and — because the walk only depends on the
+source text — the same ``site_key`` resolves to the same construct across
+processes and runs.
+"""
+
+import ast
+import copy
+import inspect
+import textwrap
+
+__all__ = [
+    "FunctionImage",
+    "index_nodes",
+    "init_block_length",
+    "is_simple_constant_assign",
+    "local_names",
+    "node_contains",
+    "INFRA_CALL_NAMES",
+]
+
+# Calls that belong to the simulation's accounting machinery rather than to
+# the OS logic being emulated; operators never target them (removing a CPU
+# charge is not a representative software fault).
+INFRA_CALL_NAMES = frozenset({"charge"})
+
+
+class FunctionImage:
+    """Parsed source of one module-level function.
+
+    Attributes
+    ----------
+    function:
+        The live function object (whose ``__code__`` injection will swap).
+    module_name:
+        Importable module path the function was taken from.
+    source:
+        Dedented source text of the function definition.
+    tree:
+        ``ast.Module`` containing exactly the function definition.
+    fdef:
+        The ``ast.FunctionDef`` node inside :attr:`tree`.
+    first_lineno:
+        Absolute line number of the ``def`` line in the original file.
+    """
+
+    def __init__(self, function, module_name=None):
+        self.function = function
+        self.module_name = module_name or function.__module__
+        raw = inspect.getsource(function)
+        self.source = textwrap.dedent(raw)
+        self.tree = ast.parse(self.source)
+        if not self.tree.body or not isinstance(
+            self.tree.body[0], ast.FunctionDef
+        ):
+            raise ValueError(
+                f"{function!r} does not parse to a single function def"
+            )
+        self.fdef = self.tree.body[0]
+        self.first_lineno = function.__code__.co_firstlineno
+        self._index = index_nodes(self.tree)
+
+    def node_at(self, index):
+        """Node at walk position ``index`` (scanner-time tree)."""
+        return self._index[index]
+
+    def index_of(self, node):
+        """Walk position of ``node`` (identity comparison)."""
+        for position, candidate in enumerate(self._index):
+            if candidate is node:
+                return position
+        raise ValueError("node not part of this image")
+
+    def absolute_lineno(self, node):
+        """Absolute source line of ``node`` in the original file."""
+        lineno = getattr(node, "lineno", 1)
+        return self.first_lineno + lineno - 1
+
+    def fresh_copy(self):
+        """Deep copy of the tree plus its node index, for mutation."""
+        tree = copy.deepcopy(self.tree)
+        return tree, index_nodes(tree)
+
+
+def index_nodes(tree):
+    """Deterministic list of every node in ``tree`` (``ast.walk`` order)."""
+    return list(ast.walk(tree))
+
+
+def is_simple_constant_assign(stmt):
+    """True for ``name = <constant>`` statements."""
+    return (
+        isinstance(stmt, ast.Assign)
+        and len(stmt.targets) == 1
+        and isinstance(stmt.targets[0], ast.Name)
+        and isinstance(stmt.value, ast.Constant)
+    )
+
+
+def init_block_length(fdef):
+    """Length of the C89-style initialization prefix of a function body.
+
+    The FIT coding style initializes every local in a block of constant
+    assignments right after the docstring; this returns how many body
+    statements belong to that block (docstring excluded from the count
+    semantics: it is skipped, not counted).
+    """
+    body = fdef.body
+    start = 0
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ) and isinstance(body[0].value.value, str):
+        start = 1
+    length = 0
+    for stmt in body[start:]:
+        if is_simple_constant_assign(stmt):
+            length += 1
+        else:
+            break
+    return start + length
+
+
+def local_names(fdef):
+    """Names bound inside the function: parameters plus assigned names."""
+    names = [arg.arg for arg in fdef.args.args]
+    seen = set(names)
+    for node in ast.walk(fdef):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            if node.id not in seen:
+                seen.add(node.id)
+                names.append(node.id)
+        elif isinstance(node, (ast.For,)) and isinstance(
+            node.target, ast.Name
+        ):
+            if node.target.id not in seen:
+                seen.add(node.target.id)
+                names.append(node.target.id)
+    return names
+
+
+def node_contains(node, node_types):
+    """True when ``node``'s subtree contains any of ``node_types``."""
+    for child in ast.walk(node):
+        if isinstance(child, node_types):
+            return True
+    return False
+
+
+def call_target_name(call):
+    """Best-effort name of the function a ``Call`` node invokes."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def is_infra_call(call):
+    """Calls operators must never touch (simulation accounting)."""
+    name = call_target_name(call)
+    return name in INFRA_CALL_NAMES

@@ -1,0 +1,149 @@
+"""Step 2 of G-SWFIT: runtime injection into the live target.
+
+The injector swaps a target function's ``__code__`` for the mutant's and
+back, without restarting anything — the running web server's next OS call
+simply executes the faulty code.  Two guarantees are enforced:
+
+* **FIT boundary**: faults may only be injected into modules on the FIT
+  allowlist.  Mutating the benchmark target itself would invalidate the
+  experiment (the paper's BT/FIT separation), so such attempts raise
+  :class:`FitBoundaryError` instead of proceeding.
+* **Restorability**: the original code object of every mutated function is
+  retained; :meth:`FaultInjector.restore_all` returns the OS to pristine
+  state and is idempotent.
+
+``profile_mode`` performs every step of an injection except the final code
+swap — the mechanism behind the paper's intrusiveness measurements
+(Table 4).
+"""
+
+from contextlib import contextmanager
+
+from repro.gswfit.mutator import build_mutant
+
+__all__ = ["FaultInjector", "FitBoundaryError"]
+
+DEFAULT_FIT_PREFIXES = ("repro.ossim.modules",)
+
+
+class FitBoundaryError(Exception):
+    """Attempt to inject a fault outside the fault injection target."""
+
+
+class FaultInjector:
+    """Applies and removes mutations on live FIT functions.
+
+    Parameters
+    ----------
+    fit_prefixes:
+        Module-path prefixes that constitute the fault injection target.
+    os_instances:
+        :class:`~repro.ossim.dispatch.OsInstance` objects whose
+        ``fault_mode`` flag should track whether any fault is active.
+    profile_mode:
+        When True, injections do all the work (mutant compilation
+        included) but never swap code — used to measure intrusiveness.
+    """
+
+    def __init__(self, fit_prefixes=DEFAULT_FIT_PREFIXES,
+                 os_instances=(), profile_mode=False):
+        self.fit_prefixes = tuple(fit_prefixes)
+        self.os_instances = list(os_instances)
+        self.profile_mode = profile_mode
+        self._originals = {}
+        self._active = {}
+        self.injection_count = 0
+
+    # ------------------------------------------------------------------
+    # Guards
+    # ------------------------------------------------------------------
+    def _check_boundary(self, location):
+        for prefix in self.fit_prefixes:
+            if location.module == prefix or location.module.startswith(
+                prefix + "."
+            ):
+                return
+        raise FitBoundaryError(
+            f"refusing to inject into {location.module!r}: outside the "
+            f"fault injection target {self.fit_prefixes!r} — injecting "
+            f"into the benchmark target would invalidate the experiment"
+        )
+
+    def _sync_fault_mode(self):
+        active = bool(self._active)
+        for os_instance in self.os_instances:
+            os_instance.fault_mode = active
+
+    # ------------------------------------------------------------------
+    # Injection / restoration
+    # ------------------------------------------------------------------
+    @property
+    def active_locations(self):
+        """Fault locations currently applied."""
+        return list(self._active.values())
+
+    def inject(self, location):
+        """Apply ``location``'s mutation to the running target."""
+        self._check_boundary(location)
+        if location.fault_id in self._active:
+            raise ValueError(f"fault already active: {location.fault_id}")
+        function, mutant_code = build_mutant(location)
+        self.injection_count += 1
+        if self.profile_mode:
+            return
+        key = (location.module, location.function)
+        if key not in self._originals:
+            self._originals[key] = function.__code__
+        function.__code__ = mutant_code
+        self._active[location.fault_id] = location
+        self._sync_fault_mode()
+
+    def restore(self, location):
+        """Remove ``location``'s mutation (no-op in profile mode)."""
+        if self.profile_mode:
+            return
+        if location.fault_id not in self._active:
+            return
+        del self._active[location.fault_id]
+        key = (location.module, location.function)
+        still_mutated = any(
+            (loc.module, loc.function) == key
+            for loc in self._active.values()
+        )
+        if not still_mutated:
+            function, _ = _resolve(key)
+            function.__code__ = self._originals.pop(key)
+        self._sync_fault_mode()
+
+    def restore_all(self):
+        """Return every mutated function to its original code."""
+        for key, original in list(self._originals.items()):
+            function, _ = _resolve(key)
+            function.__code__ = original
+        self._originals.clear()
+        self._active.clear()
+        self._sync_fault_mode()
+
+    @contextmanager
+    def injected(self, location):
+        """Context manager: inject on entry, restore on exit."""
+        self.inject(location)
+        try:
+            yield self
+        finally:
+            self.restore(location)
+
+    def __repr__(self):
+        mode = "profile" if self.profile_mode else "live"
+        return (
+            f"FaultInjector(mode={mode}, active={len(self._active)}, "
+            f"injected={self.injection_count})"
+        )
+
+
+def _resolve(key):
+    import importlib
+
+    module_name, function_name = key
+    module = importlib.import_module(module_name)
+    return getattr(module, function_name), module

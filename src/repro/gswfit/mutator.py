@@ -1,0 +1,90 @@
+"""Mutant construction: from a fault location to a swappable code object.
+
+A mutant is compiled from the *current source* of the target function by
+re-running the operator's search pattern and applying its mutation rule at
+the recorded site.  The resulting code object is validated to be
+shape-compatible with the original (same signature, no closure cells) so a
+``__code__`` swap is always safe.
+"""
+
+import ast
+import importlib
+
+from repro.gswfit.astutils import FunctionImage
+from repro.gswfit.operators import operator_for
+
+__all__ = [
+    "MutantError",
+    "build_image",
+    "build_mutant",
+    "mutated_source",
+    "resolve_function",
+]
+
+
+class MutantError(Exception):
+    """The fault location does not resolve to a buildable mutant."""
+
+
+def resolve_function(location):
+    """Import and return the live function object for ``location``."""
+    module = importlib.import_module(location.module)
+    function = getattr(module, location.function, None)
+    if function is None:
+        raise MutantError(
+            f"{location.module} has no function {location.function!r}"
+        )
+    return function
+
+
+def build_image(location):
+    """Parse the current source of the target function."""
+    function = resolve_function(location)
+    return FunctionImage(function, module_name=location.module)
+
+
+def _find_site(image, location):
+    operator = operator_for(location.fault_type)
+    for site in operator.find_sites(image):
+        if site.key == location.site_key:
+            return operator, site
+    raise MutantError(
+        f"site {location.site_key!r} for {location.fault_type.value} "
+        f"not found in {location.module}.{location.function} — "
+        f"was the FIT source modified since the scan?"
+    )
+
+
+def _mutated_tree(location):
+    image = build_image(location)
+    operator, site = _find_site(image, location)
+    return image, operator.mutate(image, site)
+
+
+def mutated_source(location):
+    """Source text of the mutant (documentation and debugging aid)."""
+    _image, tree = _mutated_tree(location)
+    return ast.unparse(tree)
+
+
+def build_mutant(location):
+    """Compile the mutant; returns ``(original_function, mutant_code)``."""
+    image, tree = _mutated_tree(location)
+    function = image.function
+    filename = f"<gswfit:{location.fault_id}>"
+    code = compile(tree, filename, "exec")
+    namespace = dict(function.__globals__)
+    exec(code, namespace)  # noqa: S102 - compiling our own mutant
+    mutant_function = namespace[function.__name__]
+    mutant_code = mutant_function.__code__
+    original_code = function.__code__
+    if mutant_code.co_freevars or original_code.co_freevars:
+        raise MutantError(
+            f"{location.function} uses closure cells; FIT functions must "
+            f"be closure-free for code swapping"
+        )
+    if mutant_code.co_argcount != original_code.co_argcount:
+        raise MutantError(
+            f"mutation changed the signature of {location.function}"
+        )
+    return function, mutant_code

@@ -1,0 +1,67 @@
+"""Mutation operator library.
+
+One operator per fault type of the paper's Table 1.  Each operator is a
+search pattern (:meth:`~repro.gswfit.operators.base.MutationOperator.find_sites`)
+plus a mutation rule
+(:meth:`~repro.gswfit.operators.base.MutationOperator.mutate`) with the
+preconditions that keep the emulation representative (e.g. MIFS never
+removes an ``if`` whose body returns, MVI only removes initializations of
+variables that are used later).
+"""
+
+from repro.faults.types import FaultType
+from repro.gswfit.operators.base import MutationOperator, Site
+from repro.gswfit.operators.assignment import (
+    MissingVariableInitialization,
+    MissingAssignmentWithValue,
+    MissingAssignmentWithExpression,
+    WrongValueAssigned,
+)
+from repro.gswfit.operators.checking import (
+    MissingIfAroundStatements,
+    MissingAndClause,
+    WrongLogicalExpression,
+)
+from repro.gswfit.operators.algorithm import (
+    MissingFunctionCall,
+    MissingIfPlusStatements,
+    MissingLocalPartOfAlgorithm,
+)
+from repro.gswfit.operators.interface import (
+    WrongArithmeticExpressionInParameter,
+    WrongVariableInParameter,
+)
+
+__all__ = [
+    "MutationOperator",
+    "Site",
+    "operator_for",
+    "operator_library",
+]
+
+_LIBRARY = {
+    FaultType.MVI: MissingVariableInitialization(),
+    FaultType.MVAV: MissingAssignmentWithValue(),
+    FaultType.MVAE: MissingAssignmentWithExpression(),
+    FaultType.MIA: MissingIfAroundStatements(),
+    FaultType.MLAC: MissingAndClause(),
+    FaultType.MFC: MissingFunctionCall(),
+    FaultType.MIFS: MissingIfPlusStatements(),
+    FaultType.MLPC: MissingLocalPartOfAlgorithm(),
+    FaultType.WVAV: WrongValueAssigned(),
+    FaultType.WLEC: WrongLogicalExpression(),
+    FaultType.WAEP: WrongArithmeticExpressionInParameter(),
+    FaultType.WPFV: WrongVariableInParameter(),
+}
+
+
+def operator_library():
+    """The full operator library, keyed by fault type (Table 1 order)."""
+    return dict(_LIBRARY)
+
+
+def operator_for(fault_type):
+    """The operator implementing ``fault_type`` (accepts the enum or name)."""
+    if isinstance(fault_type, str):
+        fault_type = FaultType(fault_type)
+    return _LIBRARY[fault_type]

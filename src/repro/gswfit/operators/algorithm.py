@@ -1,0 +1,163 @@
+"""Algorithm-class operators: MFC, MIFS, MLPC."""
+
+import ast
+
+from repro.faults.types import FaultType
+from repro.gswfit.astutils import init_block_length, is_infra_call
+from repro.gswfit.operators.base import (
+    MutationOperator,
+    Site,
+    remove_statements,
+    replace_statement,
+)
+
+__all__ = [
+    "MissingFunctionCall",
+    "MissingIfPlusStatements",
+    "MissingLocalPartOfAlgorithm",
+]
+
+MLPC_MAX_REMOVED = 3
+
+
+def _is_call_statement(stmt):
+    return isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)
+
+
+class MissingFunctionCall(MutationOperator):
+    """MFC: remove a statement-level function call.
+
+    Search pattern: ``f(...)`` used as a statement (return value unused —
+    the G-SWFIT precondition, since a used return value would make this a
+    different fault type).  Simulation-accounting calls (``ctx.charge``)
+    are excluded: they are instrumentation, not emulated OS logic.
+    """
+
+    fault_type = FaultType.MFC
+
+    def find_sites(self, image):
+        sites = []
+        for node in ast.walk(image.fdef):
+            if not _is_call_statement(node):
+                continue
+            if is_infra_call(node.value):
+                continue
+            call_text = ast.unparse(node.value)
+            sites.append(Site(
+                node_index=image.index_of(node),
+                description=f"remove call '{call_text}'",
+                lineno=image.absolute_lineno(node),
+            ))
+        return sites
+
+    def apply(self, tree, node_list, site):
+        replace_statement(tree, node_list[site.node_index], [])
+
+
+_CONTROL_FLOW = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+class MissingIfPlusStatements(MutationOperator):
+    """MIFS: remove an ``if`` together with its guarded statements.
+
+    Search pattern: an ``if`` with no else arm whose body is small (1 to 5
+    statements, per the original operator's constraint) and contains no
+    control-flow transfer — removing a returning guard is MIA territory,
+    and counting it twice would skew the faultload mix.
+    """
+
+    fault_type = FaultType.MIFS
+
+    MAX_BODY = 5
+
+    def find_sites(self, image):
+        sites = []
+        for node in ast.walk(image.fdef):
+            if not isinstance(node, ast.If) or node.orelse:
+                continue
+            if not 1 <= len(node.body) <= self.MAX_BODY:
+                continue
+            has_transfer = False
+            for child in ast.walk(node):
+                if isinstance(child, _CONTROL_FLOW):
+                    has_transfer = True
+                    break
+            if has_transfer:
+                continue
+            condition = ast.unparse(node.test)
+            sites.append(Site(
+                node_index=image.index_of(node),
+                description=(
+                    f"remove 'if {condition}:' and its "
+                    f"{len(node.body)} statement(s)"
+                ),
+                lineno=image.absolute_lineno(node),
+            ))
+        return sites
+
+    def apply(self, tree, node_list, site):
+        replace_statement(tree, node_list[site.node_index], [])
+
+
+_SIMPLE_STATEMENTS = (ast.Assign, ast.AugAssign, ast.Expr)
+
+
+def _is_simple(stmt):
+    if isinstance(stmt, ast.Expr):
+        return isinstance(stmt.value, ast.Call)
+    return isinstance(stmt, _SIMPLE_STATEMENTS)
+
+
+def _is_meaningful(stmt):
+    """A run member that makes the run worth removing (non-infra)."""
+    if isinstance(stmt, ast.Expr):
+        return not is_infra_call(stmt.value)
+    return True
+
+
+class MissingLocalPartOfAlgorithm(MutationOperator):
+    """MLPC: remove a small, localized sequence of the algorithm.
+
+    Search pattern: a maximal run of two or more consecutive simple
+    statements (assignments and call statements) in one block, past the
+    initialization prefix for the top-level body.  One site per run; the
+    mutation removes the first ``min(len, 3)`` statements, emulating a
+    programmer who skipped a short step of the algorithm.
+    """
+
+    fault_type = FaultType.MLPC
+
+    def find_sites(self, image):
+        sites = []
+        fdef = image.fdef
+        prefix = init_block_length(fdef)
+        blocks = []
+        blocks.append((fdef.body, prefix))
+        for node in ast.walk(fdef):
+            for field in ("body", "orelse", "finalbody"):
+                block = getattr(node, field, None)
+                if isinstance(block, list) and block is not fdef.body:
+                    blocks.append((block, 0))
+        for block, start in blocks:
+            run = []
+            for stmt in block[start:] + [None]:
+                if stmt is not None and _is_simple(stmt):
+                    run.append(stmt)
+                    continue
+                if len(run) >= 2 and any(_is_meaningful(s) for s in run):
+                    count = min(len(run), MLPC_MAX_REMOVED)
+                    sites.append(Site(
+                        node_index=image.index_of(run[0]),
+                        payload=str(count),
+                        description=(
+                            f"remove {count} consecutive statement(s) "
+                            f"starting with '{ast.unparse(run[0])}'"
+                        ),
+                        lineno=image.absolute_lineno(run[0]),
+                    ))
+                run = []
+        return sites
+
+    def apply(self, tree, node_list, site):
+        count = int(site.payload)
+        remove_statements(tree, node_list[site.node_index], count)

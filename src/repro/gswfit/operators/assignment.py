@@ -1,0 +1,239 @@
+"""Assignment-class operators: MVI, MVAV, MVAE, WVAV."""
+
+import ast
+
+from repro.faults.types import FaultType
+from repro.gswfit.astutils import (
+    init_block_length,
+    is_simple_constant_assign,
+    node_contains,
+)
+from repro.gswfit.operators.base import (
+    MutationOperator,
+    Site,
+    replace_statement,
+)
+
+__all__ = [
+    "MissingVariableInitialization",
+    "MissingAssignmentWithValue",
+    "MissingAssignmentWithExpression",
+    "WrongValueAssigned",
+]
+
+
+def _body_statements(fdef):
+    """Top-level body statements with their positions."""
+    return list(enumerate(fdef.body))
+
+
+def _name_read_later(fdef, name, after_stmt):
+    """True when ``name`` is read (Load) after statement ``after_stmt``."""
+    seen_anchor = False
+    for stmt in fdef.body:
+        if stmt is after_stmt:
+            seen_anchor = True
+            continue
+        if not seen_anchor:
+            continue
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+    return False
+
+
+def _constant_repr(value):
+    return repr(value)
+
+
+class MissingVariableInitialization(MutationOperator):
+    """MVI: remove one initialization from the function's init block.
+
+    Search pattern: a ``name = <constant>`` statement inside the C89-style
+    initialization prefix of the body.  Precondition: the variable is read
+    later in the function (otherwise the mutant is equivalent code, which
+    G-SWFIT's constraints exclude).  The emulated error is using a variable
+    that was never set up — in the Python substrate this surfaces as an
+    ``UnboundLocalError`` (≈ reading uninitialized stack memory) or as a
+    stale value when another path assigned the name earlier.
+    """
+
+    fault_type = FaultType.MVI
+
+    def find_sites(self, image):
+        sites = []
+        fdef = image.fdef
+        prefix = init_block_length(fdef)
+        for position, stmt in _body_statements(fdef):
+            if position >= prefix:
+                break
+            if not is_simple_constant_assign(stmt):
+                continue
+            name = stmt.targets[0].id
+            if not _name_read_later(fdef, name, stmt):
+                continue
+            sites.append(Site(
+                node_index=image.index_of(stmt),
+                description=(
+                    f"remove initialization '{name} = "
+                    f"{_constant_repr(stmt.value.value)}'"
+                ),
+                lineno=image.absolute_lineno(stmt),
+            ))
+        return sites
+
+    def apply(self, tree, node_list, site):
+        replace_statement(tree, node_list[site.node_index], [])
+
+
+class MissingAssignmentWithValue(MutationOperator):
+    """MVAV: remove a constant assignment outside the init block.
+
+    Search pattern: ``name = <constant>`` past the initialization prefix,
+    where the constant is a distinguishable immediate value (non-zero
+    number or non-empty text).  Zero stores and boolean flag stores are
+    excluded — at machine level those compile to register-clearing and
+    flag idioms whose patterns belong to other operators — which keeps the
+    MVAV share as small as in the paper's Table 3.
+    """
+
+    fault_type = FaultType.MVAV
+
+    def find_sites(self, image):
+        sites = []
+        fdef = image.fdef
+        prefix = init_block_length(fdef)
+        top_level = set()
+        for position, stmt in _body_statements(fdef):
+            if position < prefix:
+                top_level.add(id(stmt))
+        for node in ast.walk(fdef):
+            if not is_simple_constant_assign(node):
+                continue
+            if id(node) in top_level:
+                continue
+            value = node.value.value
+            if isinstance(value, bool) or not _is_interesting_constant(value):
+                continue
+            name = node.targets[0].id
+            sites.append(Site(
+                node_index=image.index_of(node),
+                description=(
+                    f"remove assignment '{name} = "
+                    f"{_constant_repr(node.value.value)}'"
+                ),
+                lineno=image.absolute_lineno(node),
+            ))
+        return sites
+
+    def apply(self, tree, node_list, site):
+        replace_statement(tree, node_list[site.node_index], [])
+
+
+class MissingAssignmentWithExpression(MutationOperator):
+    """MVAE: remove an assignment whose right-hand side is an expression.
+
+    Search pattern: ``name = <computed expression>`` where the expression
+    contains no function call (an assignment that loses a call belongs to
+    the MFC family in the field data) and the target is a single plain
+    name.  The mutant keeps whatever the variable held before, which in
+    init-block style means the neutral value the initialization assigned.
+    """
+
+    fault_type = FaultType.MVAE
+
+    def find_sites(self, image):
+        sites = []
+        for node in ast.walk(image.fdef):
+            if not isinstance(node, ast.Assign):
+                continue
+            if isinstance(node.value, ast.Constant):
+                continue
+            if len(node.targets) != 1 or not isinstance(
+                node.targets[0], ast.Name
+            ):
+                continue
+            if node_contains(node.value, ast.Call):
+                continue
+            target_text = ast.unparse(node.targets[0])
+            sites.append(Site(
+                node_index=image.index_of(node),
+                description=f"remove assignment to '{target_text}'",
+                lineno=image.absolute_lineno(node),
+            ))
+        return sites
+
+    def apply(self, tree, node_list, site):
+        replace_statement(tree, node_list[site.node_index], [])
+
+
+def _is_interesting_constant(value):
+    """Constants WVAV perturbs: flags, non-zero numbers, non-empty text.
+
+    Zero/None/empty initializations are excluded — at machine level those
+    are register-clearing idioms, not immediate-operand stores, so the
+    original operator never matches them.
+    """
+    if isinstance(value, bool):
+        return True
+    if isinstance(value, int):
+        return value != 0
+    if isinstance(value, float):
+        return value != 0.0
+    if isinstance(value, str):
+        return len(value) > 0
+    return False
+
+
+def perturb_constant(value):
+    """The replacement WVAV writes for ``value`` (deterministic)."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value * 2.0 + 1.0
+    if isinstance(value, str):
+        if len(value) > 1:
+            return value[:-1]
+        return value + "x"
+    raise TypeError(f"not a perturbable constant: {value!r}")
+
+
+class WrongValueAssigned(MutationOperator):
+    """WVAV: replace the constant in an assignment with a wrong one.
+
+    Search pattern: ``name = <interesting constant>`` anywhere in the
+    function.  Mutation: off-by-one for integers, flipped booleans,
+    truncated strings — the classic wrong-immediate programming errors.
+    """
+
+    fault_type = FaultType.WVAV
+
+    def find_sites(self, image):
+        sites = []
+        for node in ast.walk(image.fdef):
+            if not is_simple_constant_assign(node):
+                continue
+            if not _is_interesting_constant(node.value.value):
+                continue
+            name = node.targets[0].id
+            old = node.value.value
+            new = perturb_constant(old)
+            sites.append(Site(
+                node_index=image.index_of(node),
+                description=(
+                    f"'{name} = {_constant_repr(old)}' becomes "
+                    f"'{name} = {_constant_repr(new)}'"
+                ),
+                lineno=image.absolute_lineno(node),
+            ))
+        return sites
+
+    def apply(self, tree, node_list, site):
+        node = node_list[site.node_index]
+        node.value.value = perturb_constant(node.value.value)

@@ -1,0 +1,116 @@
+"""Operator framework: sites, search patterns, tree surgery helpers."""
+
+import ast
+from dataclasses import dataclass
+
+__all__ = [
+    "MutationOperator",
+    "Site",
+    "replace_statement",
+    "remove_statements",
+]
+
+
+@dataclass(frozen=True)
+class Site:
+    """One place where an operator can emulate its fault type.
+
+    ``node_index`` addresses the anchor node in the deterministic walk of
+    the function's AST; ``payload`` carries operator-specific detail (an
+    operand position, a statement count, a replacement name).  Together
+    they form the stable ``site_key``.
+    """
+
+    node_index: int
+    payload: str = ""
+    description: str = ""
+    lineno: int = 0
+
+    @property
+    def key(self):
+        if self.payload:
+            return f"{self.node_index}#{self.payload}"
+        return str(self.node_index)
+
+    @classmethod
+    def parse_key(cls, key):
+        """Split a site key back into (node_index, payload)."""
+        if "#" in key:
+            index_text, payload = key.split("#", 1)
+        else:
+            index_text, payload = key, ""
+        return int(index_text), payload
+
+
+class MutationOperator:
+    """Base class: a search pattern plus a mutation rule.
+
+    Subclasses set :attr:`fault_type` and implement :meth:`find_sites`
+    (scan a :class:`~repro.gswfit.astutils.FunctionImage`, return sites in
+    deterministic order) and :meth:`apply` (mutate a *fresh copy* of the
+    tree in place, given the re-indexed node list).
+    """
+
+    fault_type = None
+
+    def find_sites(self, image):
+        raise NotImplementedError
+
+    def apply(self, tree, node_list, site):
+        """Mutate ``tree`` (already a fresh copy) at ``site``.
+
+        ``node_list`` is the walk index of ``tree``; the anchor node is
+        ``node_list[site.node_index]``.
+        """
+        raise NotImplementedError
+
+    def mutate(self, image, site):
+        """Return a mutated copy of the image's tree."""
+        tree, node_list = image.fresh_copy()
+        self.apply(tree, node_list, site)
+        ast.fix_missing_locations(tree)
+        return tree
+
+    def __repr__(self):
+        name = self.fault_type.value if self.fault_type else "?"
+        return f"<{type(self).__name__} ({name})>"
+
+
+_BODY_FIELDS = ("body", "orelse", "finalbody")
+
+
+def _iter_statement_lists(tree):
+    """Yield every statement list in ``tree`` (bodies, else/finally arms)."""
+    for node in ast.walk(tree):
+        for field in _BODY_FIELDS:
+            block = getattr(node, field, None)
+            if isinstance(block, list):
+                yield node, field, block
+
+
+def replace_statement(tree, target, replacement):
+    """Replace statement ``target`` (by identity) with ``replacement`` list.
+
+    An emptied block gets a ``pass`` so the function still compiles —
+    the machine-code analogue is NOP-ing the instruction range.
+    """
+    for _owner, _field, block in _iter_statement_lists(tree):
+        for position, stmt in enumerate(block):
+            if stmt is target:
+                block[position:position + 1] = list(replacement)
+                if not block:
+                    block.append(ast.Pass())
+                return True
+    raise ValueError("target statement not found in tree")
+
+
+def remove_statements(tree, first, count):
+    """Remove ``count`` consecutive statements starting at ``first``."""
+    for _owner, _field, block in _iter_statement_lists(tree):
+        for position, stmt in enumerate(block):
+            if stmt is first:
+                del block[position:position + count]
+                if not block:
+                    block.append(ast.Pass())
+                return True
+    raise ValueError("first statement not found in tree")

@@ -1,0 +1,140 @@
+"""Checking-class operators: MIA, MLAC, WLEC."""
+
+import ast
+
+from repro.faults.types import FaultType
+from repro.gswfit.operators.base import (
+    MutationOperator,
+    Site,
+    replace_statement,
+)
+
+__all__ = [
+    "MissingIfAroundStatements",
+    "MissingAndClause",
+    "WrongLogicalExpression",
+]
+
+
+def _plain_ifs(image):
+    """All ``if`` statements without an else/elif arm, in walk order."""
+    result = []
+    for node in ast.walk(image.fdef):
+        if isinstance(node, ast.If) and not node.orelse and node.body:
+            result.append(node)
+    return result
+
+
+class MissingIfAroundStatements(MutationOperator):
+    """MIA: drop the condition, keep the guarded statements.
+
+    Search pattern: an ``if`` with no else arm.  The mutant executes the
+    body unconditionally — the programmer forgot the check.  For the
+    pervasive ``if bad: return error`` validation idiom this produces a
+    function that always fails, one of the loudest fault modes in the
+    paper's experiments.
+    """
+
+    fault_type = FaultType.MIA
+
+    def find_sites(self, image):
+        sites = []
+        for node in _plain_ifs(image):
+            condition = ast.unparse(node.test)
+            sites.append(Site(
+                node_index=image.index_of(node),
+                description=f"remove condition 'if {condition}:' (keep body)",
+                lineno=image.absolute_lineno(node),
+            ))
+        return sites
+
+    def apply(self, tree, node_list, site):
+        node = node_list[site.node_index]
+        replace_statement(tree, node, node.body)
+
+
+class MissingAndClause(MutationOperator):
+    """MLAC: remove one operand from an ``and`` branch condition.
+
+    Search pattern: an ``if`` whose test is a top-level ``and`` chain; one
+    site per removable operand.  The mutant checks less than it should —
+    a missing guard clause.
+    """
+
+    fault_type = FaultType.MLAC
+
+    def find_sites(self, image):
+        sites = []
+        for node in ast.walk(image.fdef):
+            if not isinstance(node, ast.If):
+                continue
+            test = node.test
+            if not (isinstance(test, ast.BoolOp)
+                    and isinstance(test.op, ast.And)):
+                continue
+            for position, operand in enumerate(test.values):
+                clause = ast.unparse(operand)
+                sites.append(Site(
+                    node_index=image.index_of(node),
+                    payload=str(position),
+                    description=f"remove 'and {clause}' from branch condition",
+                    lineno=image.absolute_lineno(node),
+                ))
+        return sites
+
+    def apply(self, tree, node_list, site):
+        node = node_list[site.node_index]
+        position = int(site.payload)
+        values = node.test.values
+        del values[position]
+        if len(values) == 1:
+            node.test = values[0]
+
+
+_SWAP = {
+    ast.Lt: ast.LtE,
+    ast.LtE: ast.Lt,
+    ast.Gt: ast.GtE,
+    ast.GtE: ast.Gt,
+}
+
+
+class WrongLogicalExpression(MutationOperator):
+    """WLEC: boundary error in a branch condition.
+
+    Search pattern: an ordering comparison (``<``, ``<=``, ``>``, ``>=``)
+    inside an ``if`` test.  Mutation: the classic off-by-one boundary swap
+    (``<`` ↔ ``<=``, ``>`` ↔ ``>=``).  Equality tests are excluded: at
+    machine level they compile to a different pattern family and the field
+    data attributes them to other fault types.
+    """
+
+    fault_type = FaultType.WLEC
+
+    def find_sites(self, image):
+        sites = []
+        seen = set()
+        for if_node in ast.walk(image.fdef):
+            if not isinstance(if_node, ast.If):
+                continue
+            for node in ast.walk(if_node.test):
+                if not isinstance(node, ast.Compare):
+                    continue
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                if len(node.ops) != 1:
+                    continue
+                if type(node.ops[0]) not in _SWAP:
+                    continue
+                old_text = ast.unparse(node)
+                sites.append(Site(
+                    node_index=image.index_of(node),
+                    description=f"boundary swap in '{old_text}'",
+                    lineno=image.absolute_lineno(if_node),
+                ))
+        return sites
+
+    def apply(self, tree, node_list, site):
+        node = node_list[site.node_index]
+        node.ops[0] = _SWAP[type(node.ops[0])]()

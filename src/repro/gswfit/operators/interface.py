@@ -1,0 +1,128 @@
+"""Interface-class operators: WAEP, WPFV."""
+
+import ast
+
+from repro.faults.types import FaultType
+from repro.gswfit.astutils import is_infra_call, local_names
+from repro.gswfit.operators.base import MutationOperator, Site
+
+__all__ = [
+    "WrongArithmeticExpressionInParameter",
+    "WrongVariableInParameter",
+]
+
+_ARITH_SWAP = {
+    ast.Add: ast.Sub,
+    ast.Sub: ast.Add,
+    ast.Mult: ast.Add,
+    ast.FloorDiv: ast.Mult,
+    ast.Mod: ast.FloorDiv,
+}
+
+# Parameters WPFV never rewrites: the process context is plumbing, not a
+# data parameter a programmer would confuse with another variable.
+_WPFV_EXCLUDED_NAMES = frozenset({"ctx", "self"})
+
+
+class WrongArithmeticExpressionInParameter(MutationOperator):
+    """WAEP: perturb an arithmetic expression passed as a call argument.
+
+    Search pattern: a positional argument of a (non-infrastructure) call
+    whose top-level node is a binary arithmetic expression.  Mutation:
+    swap the operator (``+`` ↔ ``-``, ``*`` → ``+``, ...), the classic
+    wrong-formula interface error.
+    """
+
+    fault_type = FaultType.WAEP
+
+    def find_sites(self, image):
+        sites = []
+        for node in ast.walk(image.fdef):
+            if not isinstance(node, ast.Call) or is_infra_call(node):
+                continue
+            for position, arg in enumerate(node.args):
+                if not isinstance(arg, ast.BinOp):
+                    continue
+                if type(arg.op) not in _ARITH_SWAP:
+                    continue
+                sites.append(Site(
+                    node_index=image.index_of(node),
+                    payload=str(position),
+                    description=(
+                        f"perturb argument '{ast.unparse(arg)}' of "
+                        f"'{ast.unparse(node.func)}(...)'"
+                    ),
+                    lineno=image.absolute_lineno(node),
+                ))
+        return sites
+
+    def apply(self, tree, node_list, site):
+        node = node_list[site.node_index]
+        position = int(site.payload)
+        arg = node.args[position]
+        arg.op = _ARITH_SWAP[type(arg.op)]()
+
+
+class WrongVariableInParameter(MutationOperator):
+    """WPFV: pass the wrong local variable to a call.
+
+    Search pattern: the first positional argument of a (non-infra) call
+    with at least two arguments that is a plain local-variable name.  The
+    replacement is chosen deterministically at scan time — the
+    alphabetically next local — and recorded in the site payload, so the
+    faultload fully describes the mutant.
+    """
+
+    fault_type = FaultType.WPFV
+
+    MIN_CALL_ARGS = 2
+
+    def find_sites(self, image):
+        sites = []
+        names = sorted(
+            name for name in local_names(image.fdef)
+            if name not in _WPFV_EXCLUDED_NAMES
+        )
+        if len(names) < 2:
+            return sites
+        for node in ast.walk(image.fdef):
+            if not isinstance(node, ast.Call) or is_infra_call(node):
+                continue
+            if len(node.args) < self.MIN_CALL_ARGS:
+                continue
+            for position, arg in enumerate(node.args):
+                if not isinstance(arg, ast.Name):
+                    continue
+                if arg.id in _WPFV_EXCLUDED_NAMES or arg.id not in names:
+                    continue
+                replacement = self._replacement_for(arg.id, names)
+                if replacement is None:
+                    continue
+                sites.append(Site(
+                    node_index=image.index_of(node),
+                    payload=f"{position}:{replacement}",
+                    description=(
+                        f"argument '{arg.id}' of "
+                        f"'{ast.unparse(node.func)}(...)' becomes "
+                        f"'{replacement}'"
+                    ),
+                    lineno=image.absolute_lineno(node),
+                ))
+                break  # one site per call keeps the WPFV share realistic
+        return sites
+
+    @staticmethod
+    def _replacement_for(current, names):
+        """Alphabetically next local after ``current`` (wrapping)."""
+        if current not in names:
+            return None
+        index = names.index(current)
+        replacement = names[(index + 1) % len(names)]
+        if replacement == current:
+            return None
+        return replacement
+
+    def apply(self, tree, node_list, site):
+        node = node_list[site.node_index]
+        position_text, replacement = site.payload.split(":", 1)
+        node.args[int(position_text)].id = replacement

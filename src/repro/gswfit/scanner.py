@@ -1,0 +1,73 @@
+"""Step 1 of G-SWFIT: scan the target and emit the fault-location map.
+
+Scanning is pure analysis — the target is not modified.  The output is a
+:class:`~repro.faults.faultload.Faultload` whose order is deterministic:
+modules in link order, functions in export order (internal helpers after
+the exports, since their code belongs to the services that call them),
+fault types in Table 1 order, sites in source order.
+"""
+
+from repro.faults.faultload import Faultload
+from repro.faults.location import FaultLocation
+from repro.faults.types import iter_fault_types
+from repro.gswfit.astutils import FunctionImage
+from repro.gswfit.operators import operator_for
+
+__all__ = ["scan_function", "scan_module", "scan_build"]
+
+
+def scan_function(function, module_name=None, display_module=""):
+    """Scan one function with the full operator library.
+
+    Returns a list of :class:`FaultLocation` in deterministic order.
+    """
+    image = FunctionImage(function, module_name=module_name)
+    locations = []
+    for fault_type in iter_fault_types():
+        operator = operator_for(fault_type)
+        for site in operator.find_sites(image):
+            locations.append(FaultLocation(
+                module=image.module_name,
+                display_module=display_module,
+                function=function.__name__,
+                fault_type=fault_type,
+                site_key=site.key,
+                lineno=site.lineno,
+                description=site.description,
+            ))
+    return locations
+
+
+def scan_module(module, display_module=None, include_internal=True):
+    """Scan every export (and optionally internal helper) of a FIT module."""
+    if display_module is None:
+        display_module = getattr(module, "__module_name__", module.__name__)
+    names = list(module.__exports__)
+    if include_internal:
+        names.extend(getattr(module, "__internal__", []))
+    locations = []
+    for name in names:
+        function = getattr(module, name)
+        locations.extend(scan_function(
+            function,
+            module_name=module.__name__,
+            display_module=display_module,
+        ))
+    return locations
+
+
+def scan_build(build, include_internal=True):
+    """Scan a whole OS build; returns the build's raw faultload.
+
+    This is the un-tuned faultload: the profiling phase later restricts it
+    to the API functions the benchmark targets actually exercise.
+    """
+    locations = []
+    for display_name, module in build.modules:
+        locations.extend(scan_module(
+            module,
+            display_module=display_name,
+            include_internal=include_internal,
+        ))
+    return Faultload(build.codename, locations,
+                     name=f"gswfit-{build.codename}")

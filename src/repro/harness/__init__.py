@@ -1,0 +1,33 @@
+"""Dependability benchmark harness.
+
+Orchestrates the paper's experiment: deploy a server/OS combination on a
+simulated machine (:mod:`repro.harness.machine`), run the SPECWeb99-like
+workload, and — for injection runs — walk the faultload slot by slot
+(Fig. 4 of the paper) while a watchdog (:mod:`repro.harness.watchdog`)
+observes the server and repairs it, producing the MIS/KNS/KCP counters.
+:mod:`repro.harness.experiment` ties it together;
+:mod:`repro.harness.metrics` derives the dependability measures (SPCf,
+THRf, RTMf, ADMf, ER%f) the paper proposes.
+"""
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.machine import ServerMachine
+from repro.harness.watchdog import Watchdog
+from repro.harness.experiment import WebServerExperiment
+from repro.harness.metrics import DependabilityMetrics
+from repro.harness.results import (
+    BenchmarkResult,
+    InjectionIteration,
+    average_iterations,
+)
+
+__all__ = [
+    "BenchmarkResult",
+    "DependabilityMetrics",
+    "ExperimentConfig",
+    "InjectionIteration",
+    "ServerMachine",
+    "Watchdog",
+    "WebServerExperiment",
+    "average_iterations",
+]

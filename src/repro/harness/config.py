@@ -1,0 +1,119 @@
+"""Experiment configuration.
+
+One :class:`ExperimentConfig` describes a full benchmark campaign for one
+server/OS pair: workload scale, run rules, watchdog thresholds, and the
+knobs that trade fidelity for host time (connection count, faultload
+subsampling).  ``paper_scale()`` reproduces the paper's parameters;
+``scaled()`` (the default) preserves the structure at laptop cost.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.specweb.client import ClientConfig
+from repro.specweb.rules import RunRules
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything one experiment needs to be reproducible."""
+
+    os_codename: str = "nt50"
+    server_name: str = "apache"
+    seed: int = 2004
+
+    rules: RunRules = field(default_factory=RunRules)
+    client: ClientConfig = field(default_factory=ClientConfig)
+
+    # Fileset scale (directories of 36 files each).
+    fileset_directories: int = 8
+
+    # Server machine.
+    cpu_hz: int = 400_000_000
+    operation_budget_seconds: float = 8.0
+
+    # Injector sharing the server machine: fraction of CPU it consumes
+    # while attached (profile mode and live injection alike).  The value
+    # models mutant preparation plus monitoring on the single-CPU server
+    # box of the paper's testbed.
+    injector_cpu_fraction: float = 0.05
+
+    # Fault application cadence: each fault stays injected for one slot
+    # (rules.slot_seconds, 10 s in the paper).
+    fault_sample: int | None = None  # None = full faultload
+    include_internal_functions: bool = True
+
+    # Watchdog.
+    watchdog_poll_seconds: float = 1.0
+    unresponsive_after_seconds: float = 4.0
+    restart_grace_seconds: float = 5.0
+
+    # SPECWeb99 judges connection conformance over whole measurement
+    # batches; we group this many consecutive slots per conformance batch.
+    conformance_slots: int = 6
+
+    def iteration_seed(self, iteration):
+        """Seed for one iteration: same workload family, fresh draws."""
+        return self.seed * 1_000 + iteration
+
+    @property
+    def operation_budget_cycles(self):
+        return int(self.operation_budget_seconds * self.cpu_hz)
+
+    def with_target(self, server_name=None, os_codename=None):
+        """A copy of this config aimed at another server/OS pair."""
+        updated = replace(self)
+        if server_name is not None:
+            updated.server_name = server_name
+        if os_codename is not None:
+            updated.os_codename = os_codename
+        return updated
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_scale(cls, **overrides):
+        """The paper's parameters (24 h-class runs; heavy on host CPU)."""
+        config = cls(
+            rules=RunRules.paper(),
+            client=ClientConfig(connections=40),
+            fileset_directories=16,
+            fault_sample=None,
+        )
+        return replace(config, **overrides)
+
+    @classmethod
+    def scaled(cls, fault_sample=96, connections=16, **overrides):
+        """Laptop-scale preset: same structure, compressed time.
+
+        ``fault_sample`` stratified-samples the faultload per fault type;
+        fewer connections shrink the event count proportionally.
+        """
+        config = cls(
+            rules=RunRules.scaled(),
+            client=ClientConfig(connections=connections),
+            fileset_directories=4,
+            fault_sample=fault_sample,
+        )
+        return replace(config, **overrides)
+
+    @classmethod
+    def smoke(cls, **overrides):
+        """Minimal preset for unit tests."""
+        config = cls(
+            rules=RunRules(
+                warmup_seconds=5.0,
+                rampup_seconds=1.0,
+                rampdown_seconds=1.0,
+                iterations=1,
+                slot_seconds=5.0,
+                slot_gap_seconds=1.0,
+                baseline_seconds=20.0,
+            ),
+            client=ClientConfig(connections=8),
+            fileset_directories=2,
+            fault_sample=12,
+        )
+        return replace(config, **overrides)

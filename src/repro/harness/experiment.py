@@ -1,0 +1,240 @@
+"""Experiment orchestration.
+
+:class:`WebServerExperiment` reproduces the paper's experimental procedure
+for one server/OS pair:
+
+1. **Baseline** ("Max. Perf." in Table 4): workload only.
+2. **Profile mode**: the injector is attached and does everything except
+   the final code swap; comparing with the baseline measures
+   intrusiveness.
+3. **Injection runs**: the measured time is organized in slots (Fig. 4).
+   During a slot one fault is active and the workload runs; between slots
+   the workload pauses, the fault is removed, and the watchdog repairs the
+   server if needed.  Three iterations, per SPECWeb99 rules.
+
+``profile_servers`` implements the profiling phase of the methodology
+(Section 3.3): run every benchmark target under the workload with the API
+tracer attached and collect per-function usage.
+"""
+
+from repro.gswfit.injector import FaultInjector
+from repro.gswfit.mutator import MutantError
+from repro.gswfit.scanner import scan_build
+from repro.harness.machine import ServerMachine
+from repro.harness.results import BenchmarkResult, InjectionIteration
+from repro.harness.watchdog import Watchdog
+from repro.ossim.builds import get_build
+from repro.profiling.tracer import ApiCallTracer
+
+__all__ = ["WebServerExperiment", "profile_servers"]
+
+
+class WebServerExperiment:
+    """One server/OS benchmarking campaign."""
+
+    def __init__(self, config):
+        self.config = config
+        self.build = get_build(config.os_codename)
+
+    # ------------------------------------------------------------------
+    # Faultload preparation
+    # ------------------------------------------------------------------
+    def raw_faultload(self):
+        """Scan the OS build (G-SWFIT step 1, before fine-tuning)."""
+        return scan_build(
+            self.build,
+            include_internal=self.config.include_internal_functions,
+        )
+
+    def prepared_faultload(self, faultload=None):
+        """Apply the config's sampling to a faultload (default: raw scan).
+
+        Sampling is stratified per fault type and the result interleaved
+        so truncated runs keep type diversity.
+        """
+        if faultload is None:
+            faultload = self.raw_faultload()
+        if self.config.fault_sample is not None:
+            faultload = faultload.sample(
+                self.config.fault_sample, seed=self.config.seed
+            )
+            faultload = faultload.interleave_types()
+        return faultload
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _boot_machine(self, iteration):
+        machine = ServerMachine(self.config, iteration=iteration)
+        if not machine.boot():
+            raise RuntimeError(
+                f"{self.config.server_name} failed to start on "
+                f"{self.build.display_name} with a pristine OS"
+            )
+        return machine
+
+    def _warm_up(self, machine):
+        rules = self.config.rules
+        machine.client.start()
+        machine.run_for(rules.warmup_seconds + rules.rampup_seconds)
+
+    def _measured_windows(self, start, duration, slot_seconds):
+        windows = []
+        t = start
+        while t + slot_seconds <= start + duration + 1e-9:
+            windows.append((t, t + slot_seconds))
+            t += slot_seconds
+        if not windows:
+            windows.append((start, start + duration))
+        return windows
+
+    def run_baseline(self, iteration=0):
+        """Max-performance run: no injector attached."""
+        machine = self._boot_machine(iteration)
+        self._warm_up(machine)
+        rules = self.config.rules
+        start = machine.sim.now
+        machine.run_for(rules.baseline_seconds)
+        windows = self._measured_windows(
+            start, rules.baseline_seconds, rules.slot_seconds
+        )
+        machine.client.pause()
+        machine.run_for(rules.rampdown_seconds)
+        return machine.client.collector.compute(
+            windows, conformance_group=self.config.conformance_slots
+        )
+
+    def run_profile_mode(self, iteration=0, faultload=None):
+        """Injector attached, no code changed (intrusiveness measurement)."""
+        faultload = self.prepared_faultload(faultload)
+        machine = self._boot_machine(iteration)
+        machine.set_injector_attached(True)
+        injector = FaultInjector(
+            os_instances=[machine.os_instance], profile_mode=True
+        )
+        self._warm_up(machine)
+        rules = self.config.rules
+        start = machine.sim.now
+        windows = self._measured_windows(
+            start, rules.baseline_seconds, rules.slot_seconds
+        )
+        # The injector does all its per-slot work (mutant preparation,
+        # monitoring) against consecutive faultload entries, exactly as in
+        # a live run — minus the final code swap.
+        for index, (_w_start, w_end) in enumerate(windows):
+            if len(faultload) > 0:
+                location = faultload[index % len(faultload)]
+                try:
+                    injector.inject(location)
+                except MutantError:
+                    pass
+            machine.sim.run_until(w_end)
+        machine.client.pause()
+        machine.run_for(rules.rampdown_seconds)
+        return machine.client.collector.compute(
+            windows, conformance_group=self.config.conformance_slots
+        )
+
+    def run_injection(self, faultload=None, iteration=0):
+        """One full pass over the faultload (one Table 5 iteration)."""
+        faultload = self.prepared_faultload(faultload)
+        config = self.config
+        rules = config.rules
+        machine = self._boot_machine(iteration)
+        machine.set_injector_attached(True)
+        injector = FaultInjector(os_instances=[machine.os_instance])
+        watchdog = Watchdog(
+            machine.sim,
+            machine.runtime,
+            poll_seconds=config.watchdog_poll_seconds,
+            unresponsive_after=config.unresponsive_after_seconds,
+            restart_grace=config.restart_grace_seconds,
+        )
+        self._warm_up(machine)
+        watchdog.start()
+        windows = []
+        faults_injected = 0
+        try:
+            for location in faultload:
+                slot_start = machine.sim.now
+                try:
+                    injector.inject(location)
+                    faults_injected += 1
+                except MutantError:
+                    # Unresolvable site (stale faultload): skip the slot.
+                    continue
+                machine.sim.run_until(slot_start + rules.slot_seconds)
+                injector.restore(location)
+                windows.append(
+                    (slot_start, slot_start + rules.slot_seconds)
+                )
+                # Injection-free gap: workload paused, watchdog repairs.
+                machine.client.pause()
+                machine.run_for(rules.slot_gap_seconds)
+                watchdog.check_now()
+                machine.client.resume()
+        finally:
+            injector.restore_all()
+        machine.client.pause()
+        machine.run_for(rules.rampdown_seconds)
+        watchdog.stop()
+        metrics = machine.client.collector.compute(
+            windows, conformance_group=config.conformance_slots
+        )
+        return InjectionIteration(
+            iteration=iteration,
+            metrics=metrics,
+            mis=watchdog.mis,
+            kns=watchdog.kns,
+            kcp=watchdog.kcp,
+            faults_injected=faults_injected,
+            runtime_stats=vars(machine.runtime.stats).copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Full campaign
+    # ------------------------------------------------------------------
+    def run_campaign(self, faultload=None, include_baseline=True,
+                     include_profile_mode=True):
+        """Baseline + profile mode + the configured injection iterations."""
+        faultload = self.prepared_faultload(faultload)
+        result = BenchmarkResult(
+            server_name=self.config.server_name,
+            os_codename=self.config.os_codename,
+            os_display=self.build.display_name,
+        )
+        if include_baseline:
+            result.baseline = self.run_baseline(iteration=0)
+        if include_profile_mode:
+            result.profile_mode = self.run_profile_mode(
+                iteration=0, faultload=faultload
+            )
+        for iteration in range(1, self.config.rules.iterations + 1):
+            result.add_iteration(
+                self.run_injection(faultload, iteration=iteration)
+            )
+        return result
+
+
+def profile_servers(config, server_names, seconds=None):
+    """Profiling phase: trace each server's API usage under the workload.
+
+    Returns ``{server_name: ApiCallTracer}`` ready for
+    :class:`~repro.profiling.usage.UsageTable`.
+    """
+    tracers = {}
+    duration = seconds or config.rules.baseline_seconds
+    for server_name in server_names:
+        server_config = config.with_target(server_name=server_name)
+        machine = ServerMachine(server_config, iteration=0)
+        tracer = ApiCallTracer(label=server_name)
+        machine.attach_tracer(tracer)
+        if not machine.boot():
+            raise RuntimeError(f"{server_name} failed to start")
+        machine.client.start()
+        machine.run_for(
+            server_config.rules.warmup_seconds + duration
+        )
+        machine.client.pause()
+        tracers[server_name] = tracer
+    return tracers

@@ -1,0 +1,78 @@
+"""Result records for benchmark campaigns."""
+
+from dataclasses import dataclass, field
+
+from repro.specweb.metrics import SpecWebMetrics
+
+__all__ = [
+    "BenchmarkResult",
+    "InjectionIteration",
+    "average_iterations",
+]
+
+
+@dataclass
+class InjectionIteration:
+    """One full pass over the faultload (one of the paper's iterations)."""
+
+    iteration: int
+    metrics: SpecWebMetrics
+    mis: int
+    kns: int
+    kcp: int
+    faults_injected: int
+    runtime_stats: dict = field(default_factory=dict)
+
+    @property
+    def admf(self):
+        return self.mis + self.kns + self.kcp
+
+    def as_row(self):
+        """The paper's Table 5 row shape."""
+        return {
+            "SPC": self.metrics.spc,
+            "THR": self.metrics.thr,
+            "RTM": self.metrics.rtm_ms,
+            "ER%": self.metrics.er_percent,
+            "MIS": self.mis,
+            "KCP": self.kcp,
+            "KNS": self.kns,
+        }
+
+
+@dataclass
+class BenchmarkResult:
+    """Everything measured for one server/OS pair."""
+
+    server_name: str
+    os_codename: str
+    os_display: str
+    baseline: SpecWebMetrics | None = None
+    profile_mode: SpecWebMetrics | None = None
+    iterations: list = field(default_factory=list)
+
+    def average_row(self):
+        return average_iterations(self.iterations)
+
+    def add_iteration(self, iteration_result):
+        self.iterations.append(iteration_result)
+
+    def __repr__(self):
+        return (
+            f"BenchmarkResult({self.server_name} on {self.os_display}, "
+            f"iterations={len(self.iterations)})"
+        )
+
+
+def average_iterations(iterations):
+    """Average the Table 5 row values over iterations (paper's last row)."""
+    if not iterations:
+        return {}
+    keys = ["SPC", "THR", "RTM", "ER%", "MIS", "KCP", "KNS"]
+    totals = {key: 0.0 for key in keys}
+    for iteration in iterations:
+        row = iteration.as_row()
+        for key in keys:
+            totals[key] += row[key]
+    count = len(iterations)
+    return {key: value / count for key, value in totals.items()}

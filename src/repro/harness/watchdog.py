@@ -1,0 +1,120 @@
+"""The experiment watchdog.
+
+Plays the role of the monitoring half of the paper's G-SWFIT injector: it
+polls the web server's externally observable state and intervenes exactly
+like the paper's tooling, producing the three administration counters:
+
+* **MIS** — the server died and did not self-restart (it needed an
+  explicit restart);
+* **KNS** — the server was alive but not responding to requests and had
+  to be killed and restarted;
+* **KCP** — the server was hogging the CPU while providing no service and
+  had to be killed.
+
+A restart attempted while the fault is still active can fail (the child
+crashes during startup); the watchdog keeps trying on its polling cadence
+but counts the death only once per incident.
+"""
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog:
+    """Polls one server runtime and repairs it."""
+
+    def __init__(self, sim, runtime, poll_seconds=1.0,
+                 unresponsive_after=4.0, restart_grace=5.0):
+        self.sim = sim
+        self.runtime = runtime
+        self.poll_seconds = poll_seconds
+        self.unresponsive_after = unresponsive_after
+        # After killing and restarting the server, give it this long to
+        # prove itself before judging responsiveness again — otherwise a
+        # stale last-success timestamp earns an immediate second kill.
+        self.restart_grace = restart_grace
+        self.mis = 0
+        self.kns = 0
+        self.kcp = 0
+        self.restarts_performed = 0
+        self._death_counted = False
+        self._last_restart_time = float("-inf")
+        self._poll_event = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        if self._running:
+            return
+        self._running = True
+        self._poll_event = self.sim.schedule(self.poll_seconds, self._poll)
+
+    def stop(self):
+        self._running = False
+        if self._poll_event is not None:
+            self.sim.cancel(self._poll_event)
+            self._poll_event = None
+
+    # ------------------------------------------------------------------
+    # Polling
+    # ------------------------------------------------------------------
+    def _poll(self):
+        self._poll_event = None
+        if not self._running:
+            return
+        self.check_now()
+        self._poll_event = self.sim.schedule(self.poll_seconds, self._poll)
+
+    def check_now(self):
+        """One health check + repair cycle (also used at slot cleanup)."""
+        runtime = self.runtime
+        if runtime.is_dead():
+            if not self._death_counted:
+                self.mis += 1
+                self._death_counted = True
+            if runtime.restart():
+                self._death_counted = False
+                self.restarts_performed += 1
+                self._last_restart_time = self.sim.now
+            return
+        self._death_counted = False
+        in_grace = (
+            self.sim.now - self._last_restart_time < self.restart_grace
+        )
+        if not in_grace and self._looks_unresponsive():
+            if runtime.cpu_hog_recent:
+                self.kcp += 1
+            else:
+                self.kns += 1
+            runtime.restart()
+            self.restarts_performed += 1
+            self._last_restart_time = self.sim.now
+
+    def _looks_unresponsive(self):
+        """Alive, being asked for service, delivering none."""
+        runtime = self.runtime
+        now = self.sim.now
+        horizon = now - self.unresponsive_after
+        if runtime.last_attempt_time < horizon:
+            return False  # no recent demand; nothing observable
+        if runtime.last_success_time >= horizon:
+            return False  # it served something recently
+        # Demand without service for the whole window.
+        return True
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def admf(self):
+        """Administrator interventions: MIS + KNS + KCP (paper ADMf)."""
+        return self.mis + self.kns + self.kcp
+
+    def counters(self):
+        return {"MIS": self.mis, "KNS": self.kns, "KCP": self.kcp}
+
+    def __repr__(self):
+        return (
+            f"Watchdog(MIS={self.mis}, KNS={self.kns}, KCP={self.kcp})"
+        )

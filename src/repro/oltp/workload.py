@@ -1,0 +1,336 @@
+"""OLTP workload: TPC-style terminals with an integrity audit.
+
+The client drives ``terminals`` concurrent terminals, each running the
+classic mix (mostly transfers, some balance checks, occasional scans).
+On top of the performance measures it audits **durability**: a ledger of
+acknowledged transfers is maintained client-side, and every balance
+response is compared against it.  A mismatch on an account with no
+in-flight or uncertain operations is an integrity violation — an
+acknowledged transaction the system lost (or conjured).
+"""
+
+from dataclasses import dataclass
+
+__all__ = [
+    "OltpClient",
+    "OltpClientConfig",
+    "OltpMetrics",
+    "Transaction",
+    "TxnResult",
+]
+
+
+class Transaction:
+    """One client request to a database engine."""
+
+    __slots__ = ("kind", "txn_id", "account_from", "account_to",
+                 "amount", "connection_id")
+
+    def __init__(self, kind, txn_id, account_from=0, account_to=0,
+                 amount=0, connection_id=0):
+        self.kind = kind
+        self.txn_id = txn_id
+        self.account_from = account_from
+        self.account_to = account_to
+        self.amount = amount
+        self.connection_id = connection_id
+
+    def __repr__(self):
+        return (
+            f"<Transaction #{self.txn_id} {self.kind} "
+            f"{self.account_from}->{self.account_to} {self.amount}>"
+        )
+
+
+class TxnResult:
+    """An engine's answer.  ``ok`` drives the shared process runtime."""
+
+    __slots__ = ("ok", "value", "detail")
+
+    def __init__(self, ok, value=None, detail=""):
+        self.ok = ok
+        self.value = value
+        self.detail = detail
+
+    def wire_size(self):
+        return 160
+
+    def __repr__(self):
+        state = "ok" if self.ok else f"failed ({self.detail})"
+        return f"<TxnResult {state} value={self.value}>"
+
+
+@dataclass
+class OltpClientConfig:
+    terminals: int = 10
+    accounts: int = 200
+    initial_balance: int = 1_000
+    transfer_fraction: float = 0.70
+    balance_fraction: float = 0.25  # remainder is scans
+    think_min: float = 0.004
+    think_max: float = 0.020
+    max_amount: int = 50
+    txn_timeout: float = 6.0
+    link_latency: float = 0.0003
+    error_backoff: float = 0.35
+
+
+@dataclass
+class OltpMetrics:
+    """Reduced measures for one OLTP run."""
+
+    tps: float
+    rtm_ms: float
+    er_percent: float
+    total_txns: int
+    total_errors: int
+    integrity_violations: int
+    uncertain_accounts: int
+    measured_seconds: float
+
+    def __str__(self):
+        return (
+            f"TPS={self.tps:.1f} RTM={self.rtm_ms:.1f}ms "
+            f"ER%={self.er_percent:.2f} "
+            f"violations={self.integrity_violations}"
+        )
+
+
+class _Terminal:
+    __slots__ = ("index", "seq", "pending", "issued_at", "timeout_event",
+                 "idle")
+
+    def __init__(self, index):
+        self.index = index
+        self.seq = 0
+        self.pending = None
+        self.issued_at = 0.0
+        self.timeout_event = None
+        self.idle = True
+
+
+class OltpClient:
+    """Terminal driver plus ledger-based integrity audit."""
+
+    def __init__(self, sim, transport, config=None, rng=None):
+        self.sim = sim
+        self.transport = transport
+        self.config = config or OltpClientConfig()
+        self.rng = rng or sim.rng_for("oltp-client")
+        self.running = False
+        self.terminals = [
+            _Terminal(index) for index in range(self.config.terminals)
+        ]
+        self._txn_counter = 0
+        # The audit state.
+        self.ledger = {
+            account: self.config.initial_balance
+            for account in range(self.config.accounts)
+        }
+        self.pending_on_account = {
+            account: 0 for account in range(self.config.accounts)
+        }
+        # Last simulated time a transfer touching the account was issued
+        # or finished; balance reads overlapping such activity cannot be
+        # audited (the read and the ledger may legitimately disagree).
+        self.account_activity = {
+            account: -1.0 for account in range(self.config.accounts)
+        }
+        self.uncertain = set()
+        self.integrity_violations = 0
+        self.violation_log = []
+        # Raw records: (completed_at, ok, latency).
+        self.records = []
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def start(self):
+        self.running = True
+        for terminal in self.terminals:
+            if terminal.idle:
+                terminal.idle = False
+                self.sim.schedule(
+                    0.002 + 0.003 * terminal.index, self._issue, terminal
+                )
+
+    def pause(self):
+        self.running = False
+
+    def resume(self):
+        self.running = True
+        for terminal in self.terminals:
+            if terminal.idle:
+                terminal.idle = False
+                self.sim.schedule(0.002, self._issue, terminal)
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def _draw_transaction(self, terminal):
+        self._txn_counter += 1
+        draw = self.rng.random()
+        if draw < self.config.transfer_fraction:
+            source = self.rng.randint(0, self.config.accounts - 1)
+            target = self.rng.randint(0, self.config.accounts - 1)
+            while target == source:
+                target = self.rng.randint(0, self.config.accounts - 1)
+            return Transaction(
+                "transfer", self._txn_counter, source, target,
+                amount=self.rng.randint(1, self.config.max_amount),
+                connection_id=terminal.index,
+            )
+        if draw < (self.config.transfer_fraction
+                   + self.config.balance_fraction):
+            return Transaction(
+                "balance", self._txn_counter,
+                account_from=self.rng.randint(
+                    0, self.config.accounts - 1
+                ),
+                connection_id=terminal.index,
+            )
+        return Transaction(
+            "scan", self._txn_counter, connection_id=terminal.index
+        )
+
+    def _issue(self, terminal):
+        if not self.running:
+            terminal.idle = True
+            return
+        terminal.seq += 1
+        seq = terminal.seq
+        transaction = self._draw_transaction(terminal)
+        terminal.pending = transaction
+        terminal.issued_at = self.sim.now
+        if transaction.kind == "transfer":
+            self.pending_on_account[transaction.account_from] += 1
+            self.pending_on_account[transaction.account_to] += 1
+            now = self.sim.now
+            self.account_activity[transaction.account_from] = now
+            self.account_activity[transaction.account_to] = now
+        self.sim.schedule(
+            self.config.link_latency, self.transport, transaction,
+            self._responder(terminal, seq),
+        )
+        terminal.timeout_event = self.sim.schedule(
+            self.config.txn_timeout, self._on_timeout, terminal, seq
+        )
+
+    def _responder(self, terminal, seq):
+        def respond(result):
+            self.sim.schedule(
+                self.config.link_latency, self._finish,
+                terminal, seq, result,
+            )
+        return respond
+
+    def _release_pending(self, transaction):
+        if transaction.kind == "transfer":
+            self.pending_on_account[transaction.account_from] -= 1
+            self.pending_on_account[transaction.account_to] -= 1
+            now = self.sim.now
+            self.account_activity[transaction.account_from] = now
+            self.account_activity[transaction.account_to] = now
+
+    def _finish(self, terminal, seq, result):
+        if terminal.seq != seq or terminal.pending is None:
+            return
+        transaction = terminal.pending
+        terminal.pending = None
+        if terminal.timeout_event is not None:
+            self.sim.cancel(terminal.timeout_event)
+            terminal.timeout_event = None
+        self._release_pending(transaction)
+        latency = self.sim.now - terminal.issued_at
+        ok = result is not None and result.ok
+        if transaction.kind == "transfer":
+            if ok:
+                self.ledger[transaction.account_from] -= (
+                    transaction.amount
+                )
+                self.ledger[transaction.account_to] += transaction.amount
+            elif result is None:
+                # Connection reset: the commit may or may not have
+                # happened; these accounts can no longer be audited.
+                self.uncertain.add(transaction.account_from)
+                self.uncertain.add(transaction.account_to)
+        elif transaction.kind == "balance" and ok:
+            self._audit_balance(
+                transaction.account_from, result.value,
+                read_issued_at=terminal.issued_at,
+            )
+        self.records.append((self.sim.now, ok, latency))
+        delay = (
+            self.rng.uniform(self.config.think_min,
+                             self.config.think_max)
+            if ok else self.config.error_backoff
+        )
+        self.sim.schedule(delay, self._issue, terminal)
+
+    def _on_timeout(self, terminal, seq):
+        if terminal.seq != seq or terminal.pending is None:
+            return
+        transaction = terminal.pending
+        terminal.pending = None
+        terminal.timeout_event = None
+        self._release_pending(transaction)
+        if transaction.kind == "transfer":
+            self.uncertain.add(transaction.account_from)
+            self.uncertain.add(transaction.account_to)
+        latency = self.sim.now - terminal.issued_at
+        self.records.append((self.sim.now, False, latency))
+        self.sim.schedule(0.002, self._issue, terminal)
+
+    # ------------------------------------------------------------------
+    # The audit
+    # ------------------------------------------------------------------
+    def _audit_balance(self, account, reported, read_issued_at):
+        if account in self.uncertain:
+            return
+        if self.pending_on_account[account] != 0:
+            return
+        if self.account_activity[account] >= read_issued_at:
+            # A transfer overlapped this read's lifetime: the snapshot the
+            # engine answered from may legitimately differ from the
+            # ledger's current value.
+            return
+        expected = self.ledger[account]
+        if reported != expected:
+            self.integrity_violations += 1
+            self.violation_log.append(
+                (self.sim.now, account, expected, reported)
+            )
+            # Re-anchor so one lost transaction is counted once, not on
+            # every later read of the account.
+            self.ledger[account] = reported
+
+    # ------------------------------------------------------------------
+    # Reduction
+    # ------------------------------------------------------------------
+    def compute(self, windows):
+        total = 0
+        errors = 0
+        latency_sum = 0.0
+        latency_count = 0
+        seconds = sum(end - start for start, end in windows)
+        for completed_at, ok, latency in self.records:
+            if not any(start < completed_at <= end
+                       for start, end in windows):
+                continue
+            total += 1
+            if ok:
+                latency_sum += latency
+                latency_count += 1
+            else:
+                errors += 1
+        return OltpMetrics(
+            tps=total / seconds if seconds > 0 else 0.0,
+            rtm_ms=(1000.0 * latency_sum / latency_count
+                    if latency_count else 0.0),
+            er_percent=100.0 * errors / total if total else 0.0,
+            total_txns=total,
+            total_errors=errors,
+            integrity_violations=self.integrity_violations,
+            uncertain_accounts=len(self.uncertain),
+            measured_seconds=seconds,
+        )

@@ -1,0 +1,37 @@
+"""Simulated operating system — the Fault Injection Target (FIT).
+
+The paper injects software faults into the code of MS Windows' ``ntdll`` and
+``kernel32`` modules while benchmarking web servers running on top of them.
+This package is the analogue: a user-space operating system with
+
+* kernel-side engines that are **never mutated** (the object manager, the
+  heap engine, the virtual file system, synchronization and virtual-memory
+  primitives) — these play the role of the hardware/kernel boundary, and
+* API modules (:mod:`repro.ossim.modules`) written in a deliberately
+  C-like procedural style — parameter validation, status codes, explicit
+  buffer management — which **are** the code scanned and mutated by the
+  G-SWFIT engine.
+
+Two OS builds are provided (:data:`~repro.ossim.builds.NT50` and
+:data:`~repro.ossim.builds.NT51`), mirroring the paper's Windows 2000 SP4
+and Windows XP SP1 targets; the 5.1 build contains strictly more code, which
+reproduces the larger XP faultload of the paper's Table 3.
+"""
+
+from repro.ossim.status import NtStatus, nt_success
+from repro.ossim.context import ProcessContext, SimKernel
+from repro.ossim.dispatch import ApiTable, OsInstance
+from repro.ossim.builds import NT50, NT51, OsBuild, get_build
+
+__all__ = [
+    "ApiTable",
+    "NT50",
+    "NT51",
+    "NtStatus",
+    "OsBuild",
+    "OsInstance",
+    "ProcessContext",
+    "SimKernel",
+    "get_build",
+    "nt_success",
+]

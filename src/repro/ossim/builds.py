@@ -1,0 +1,143 @@
+"""OS build definitions.
+
+A build is the unit the paper generates one faultload *per*: the experiment
+produced one faultload for Windows 2000 SP4 and another, larger one for
+Windows XP SP1, because the XP binaries contain more code.  Here a build
+names the set of mutable API modules exposed to applications plus the
+build's per-call overhead (the XP analogue is slightly slower per call,
+which reproduces the small baseline-performance gap in the paper's
+Table 4).
+"""
+
+from repro.ossim.modules import kernel3250, kernel3251, ntdll50, ntdll51
+
+__all__ = ["OsBuild", "NT50", "NT51", "ALL_BUILDS", "get_build"]
+
+
+class OsBuild:
+    """An immutable description of one simulated OS build."""
+
+    def __init__(self, codename, display_name, modules, call_overhead,
+                 function_costs=None):
+        self.codename = codename
+        self.display_name = display_name
+        # List of (display module name, python module) pairs, in link order.
+        self.modules = list(modules)
+        self.call_overhead = call_overhead
+        self.function_costs = dict(function_costs or {})
+        self._exports = None
+
+    def exports(self):
+        """Mapping of export name -> (module display name, function).
+
+        Later modules win on name collisions, mirroring link order.
+        """
+        if self._exports is None:
+            table = {}
+            for display_name, module in self.modules:
+                for name in module.__exports__:
+                    table[name] = (display_name, getattr(module, name))
+            self._exports = table
+        return self._exports
+
+    def export_names(self):
+        return sorted(self.exports())
+
+    def module_of(self, export_name):
+        """Display module name owning ``export_name`` (or None)."""
+        entry = self.exports().get(export_name)
+        if entry is None:
+            return None
+        return entry[0]
+
+    def base_cost(self, export_name):
+        """Fixed dispatch cost in cycles for one call to ``export_name``."""
+        return self.function_costs.get(export_name, 0) + self.call_overhead
+
+    def fit_modules(self):
+        """The python modules whose code is the fault injection target."""
+        return [module for _display, module in self.modules]
+
+    def __repr__(self):
+        return f"OsBuild({self.codename!r}, {self.display_name!r})"
+
+
+# Per-function fixed costs (cycles).  These model the parts of each service
+# we do not simulate instruction-by-instruction: the syscall transition,
+# dispatch tables, security reference monitor...  Data-dependent costs are
+# charged inside the (mutable) function bodies themselves.
+_COMMON_COSTS = {
+    "NtCreateFile": 5200,
+    "NtOpenFile": 1400,
+    "NtQueryAttributesFile": 2600,
+    "NtClose": 900,
+    "NtReadFile": 2100,
+    "NtWriteFile": 2300,
+    "NtQueryFileRecords": 1800,
+    "NtQueryInformationFile": 1100,
+    "NtSetInformationFile": 1000,
+    "NtProtectVirtualMemory": 1600,
+    "NtQueryVirtualMemory": 1200,
+    "NtDelayExecution": 800,
+    "NtQuerySystemTime": 300,
+    "RtlAllocateHeap": 260,
+    "RtlFreeHeap": 220,
+    "RtlSizeHeap": 120,
+    "RtlEnterCriticalSection": 90,
+    "RtlLeaveCriticalSection": 80,
+    "RtlInitUnicodeString": 60,
+    "RtlInitAnsiString": 60,
+    "RtlValidateUnicodeString": 90,
+    "RtlFreeUnicodeString": 160,
+    "RtlUnicodeToMultiByteN": 240,
+    "RtlMultiByteToUnicodeN": 240,
+    "RtlDosPathNameToNtPathName_U": 900,
+    "RtlGetFullPathName_U": 700,
+    "CloseHandle": 350,
+    "CreateFileW": 1200,
+    "ReadFile": 700,
+    "WriteFile": 700,
+    "SetFilePointer": 420,
+    "SetEndOfFile": 650,
+    "GetFileSize": 380,
+    "GetFileAttributesW": 800,
+    "GetLongPathNameW": 600,
+    "DeleteFileW": 900,
+    "GetLastError": 25,
+    "SetLastError": 25,
+}
+
+NT50 = OsBuild(
+    codename="nt50",
+    display_name="Windows 2000 SP4 (sim)",
+    modules=[("Ntdll", ntdll50), ("Kernel32", kernel3250)],
+    call_overhead=140,
+    function_costs=_COMMON_COSTS,
+)
+
+# The 5.1 build's services run more code per call (hardening, lookaside,
+# prefetch bookkeeping), so its fixed costs are scaled up — the effect
+# behind the slightly lower XP baselines in the paper's Table 4.
+_NT51_COST_SCALE = 1.4
+
+NT51 = OsBuild(
+    codename="nt51",
+    display_name="Windows XP SP1 (sim)",
+    modules=[("Ntdll", ntdll51), ("Kernel32", kernel3251)],
+    call_overhead=190,
+    function_costs={
+        name: int(cost * _NT51_COST_SCALE)
+        for name, cost in _COMMON_COSTS.items()
+    },
+)
+
+ALL_BUILDS = {build.codename: build for build in (NT50, NT51)}
+
+
+def get_build(codename):
+    """Look a build up by codename ('nt50' or 'nt51')."""
+    build = ALL_BUILDS.get(codename)
+    if build is None:
+        known = ", ".join(sorted(ALL_BUILDS))
+        raise KeyError(f"unknown OS build {codename!r} (known: {known})")
+    return build

@@ -1,0 +1,125 @@
+"""API dispatch: how applications call the (possibly mutated) OS.
+
+:class:`OsInstance` ties an :class:`~repro.ossim.builds.OsBuild` to one
+machine's :class:`~repro.ossim.context.SimKernel`; :class:`ApiTable` is the
+per-process view of the build's exports, the moral equivalent of the import
+address table a native process resolves against ``ntdll``/``kernel32``.
+
+Each call through the table:
+
+1. is recorded by the attached tracer, if any (this is the probe the
+   profiling phase of the methodology uses — analogous to the API tracing
+   tool of the paper's Section 3.3);
+2. charges the build's fixed dispatch cost to the process CPU meter;
+3. invokes the live module-level function — whose ``__code__`` the G-SWFIT
+   injector may have swapped for a mutant.
+
+Failure semantics: simulated machine conditions (``SimSegfault``,
+``SimBlockedForever``, ``CpuBudgetExceeded``) always propagate.  Any *other*
+Python exception escaping OS code is a bug of ours when the OS is pristine
+(so it propagates loudly), but when a fault is currently injected it is the
+expected behaviour of broken native code and is converted to a simulated
+access violation.
+"""
+
+from repro.sim.errors import (
+    CpuBudgetExceeded,
+    SimBlockedForever,
+    SimSegfault,
+)
+
+__all__ = ["ApiTable", "OsInstance"]
+
+
+class OsInstance:
+    """One OS build booted on one machine kernel."""
+
+    def __init__(self, build, kernel):
+        self.build = build
+        self.kernel = kernel
+        self.tracer = None
+        # Set by the fault injector while at least one mutation is applied.
+        self.fault_mode = False
+        kernel.boot_count += 1
+
+    def attach_tracer(self, tracer):
+        """Attach an API call tracer (None detaches)."""
+        self.tracer = tracer
+
+    def new_process(self, cpu=None, name="process"):
+        """Create a process with its API table already bound."""
+        ctx = self.kernel.new_process(cpu=cpu, name=name)
+        ctx.api = ApiTable(self, ctx)
+        return ctx
+
+    def __repr__(self):
+        return f"OsInstance({self.build.codename}, fault_mode={self.fault_mode})"
+
+
+class ApiTable:
+    """Per-process resolved view of an OS build's exports.
+
+    Attribute access returns a callable wrapper; wrappers are cached, and
+    they look the target function up on the *module object at call time*,
+    so an injected ``__code__`` swap is visible immediately even to
+    processes created before the injection.
+    """
+
+    def __init__(self, os_instance, ctx):
+        # Avoid __setattr__ recursion by writing through __dict__.
+        self.__dict__["os"] = os_instance
+        self.__dict__["ctx"] = ctx
+        self.__dict__["_wrappers"] = {}
+
+    def __getattr__(self, name):
+        wrapper = self._wrappers.get(name)
+        if wrapper is None:
+            wrapper = self._make_wrapper(name)
+            self._wrappers[name] = wrapper
+        return wrapper
+
+    def has_export(self, name):
+        return name in self.os.build.exports()
+
+    def export_names(self):
+        return self.os.build.export_names()
+
+    def _make_wrapper(self, name):
+        entry = self.os.build.exports().get(name)
+        if entry is None:
+            raise AttributeError(
+                f"{self.os.build.display_name} has no export {name!r}"
+            )
+        module_display, function = entry
+        base_cost = self.os.build.base_cost(name)
+        os_instance = self.os
+        ctx = self.ctx
+
+        def call(*args, **kwargs):
+            tracer = os_instance.tracer
+            if tracer is not None:
+                tracer.record(module_display, name)
+            ctx.api_calls += 1
+            ctx.charge(base_cost)
+            try:
+                return function(ctx, *args, **kwargs)
+            except (SimSegfault, SimBlockedForever, CpuBudgetExceeded):
+                raise
+            except Exception as exc:
+                if os_instance.fault_mode:
+                    raise SimSegfault(
+                        f"fault in {module_display}!{name}: "
+                        f"{type(exc).__name__}: {exc}",
+                        cause=exc,
+                    ) from exc
+                raise
+
+        call.__name__ = name
+        call.__qualname__ = f"ApiTable.{name}"
+        return call
+
+    def __repr__(self):
+        return (
+            f"ApiTable(build={self.os.build.codename}, "
+            f"pid={self.ctx.pid})"
+        )

@@ -1,0 +1,140 @@
+"""Virtual memory manager.
+
+Backs ``NtProtectVirtualMemory`` and ``NtQueryVirtualMemory``.  Servers use
+it for their buffer arenas and file caches; a mutation that flips a
+protection constant or mis-rounds a range makes later touches of that range
+fail, which the engine reports as an access violation.
+"""
+
+from repro.sim.errors import SimSegfault
+
+__all__ = [
+    "PAGE_NOACCESS",
+    "PAGE_READONLY",
+    "PAGE_READWRITE",
+    "PAGE_EXECUTE_READ",
+    "PAGE_SIZE",
+    "MemoryRegion",
+    "VirtualMemoryManager",
+]
+
+PAGE_SIZE = 4096
+
+PAGE_NOACCESS = 0x01
+PAGE_READONLY = 0x02
+PAGE_READWRITE = 0x04
+PAGE_EXECUTE_READ = 0x20
+
+_VALID_PROTECTIONS = {
+    PAGE_NOACCESS,
+    PAGE_READONLY,
+    PAGE_READWRITE,
+    PAGE_EXECUTE_READ,
+}
+
+
+class MemoryRegion:
+    """A contiguous reserved range with uniform protection."""
+
+    __slots__ = ("base", "size", "protection", "tag")
+
+    def __init__(self, base, size, protection, tag=""):
+        self.base = base
+        self.size = size
+        self.protection = protection
+        self.tag = tag
+
+    @property
+    def end(self):
+        return self.base + self.size
+
+    def contains(self, address):
+        return self.base <= address < self.end
+
+    def __repr__(self):
+        return (
+            f"MemoryRegion(base=0x{self.base:x}, size=0x{self.size:x}, "
+            f"prot=0x{self.protection:02x}, tag={self.tag!r})"
+        )
+
+
+class VirtualMemoryManager:
+    """Tracks reserved regions of one simulated process."""
+
+    def __init__(self, address_space=1 << 31):
+        self.address_space = address_space
+        self._regions = []
+        self._next_base = 0x0100_0000
+        self.protect_calls = 0
+        self.query_calls = 0
+
+    @staticmethod
+    def round_to_pages(size):
+        return max(PAGE_SIZE,
+                   (size + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE)
+
+    @staticmethod
+    def valid_protection(protection):
+        return protection in _VALID_PROTECTIONS
+
+    def reserve(self, size, protection=PAGE_READWRITE, tag=""):
+        """Reserve a new region; returns it or None when out of space."""
+        rounded = self.round_to_pages(size)
+        if self._next_base + rounded > self.address_space:
+            return None
+        region = MemoryRegion(self._next_base, rounded, protection, tag=tag)
+        self._next_base += rounded + PAGE_SIZE
+        self._regions.append(region)
+        return region
+
+    def find(self, address):
+        """Region containing ``address``, or None."""
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def protect(self, address, size, protection):
+        """Change protection; returns the old protection or -1 on error."""
+        self.protect_calls += 1
+        region = self.find(address)
+        if region is None:
+            return -1
+        if not self.valid_protection(protection):
+            return -1
+        if address + size > region.end:
+            return -1
+        old = region.protection
+        region.protection = protection
+        return old
+
+    def query(self, address):
+        """Return (base, size, protection) for the region, or None."""
+        self.query_calls += 1
+        region = self.find(address)
+        if region is None:
+            return None
+        return (region.base, region.size, region.protection)
+
+    def check_access(self, address, write=False):
+        """Raise ``SimSegfault`` when touching ``address`` is not allowed."""
+        region = self.find(address)
+        if region is None:
+            raise SimSegfault(f"access to unmapped address 0x{address:x}")
+        if region.protection == PAGE_NOACCESS:
+            raise SimSegfault(
+                f"access to PAGE_NOACCESS region at 0x{address:x}"
+            )
+        if write and region.protection in (PAGE_READONLY, PAGE_EXECUTE_READ):
+            raise SimSegfault(
+                f"write to read-only region at 0x{address:x}"
+            )
+
+    def release(self, region):
+        if region in self._regions:
+            self._regions.remove(region)
+            return True
+        return False
+
+    def regions(self):
+        return list(self._regions)

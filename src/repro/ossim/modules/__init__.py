@@ -1,0 +1,20 @@
+"""Mutable OS API modules — the code the G-SWFIT engine scans and mutates.
+
+Each module in this package is written in a deliberately C-like procedural
+style (all locals initialized up front, explicit status codes, early-return
+parameter validation, compound ``and`` conditions) because those are the
+constructs the field-data fault types of the paper's Table 1 live in.
+
+Style rules enforced by ``tests/test_fit_style.py``:
+
+* no ``while`` loops (a mutated loop condition must not be able to hang the
+  host interpreter — bounded ``for`` loops only);
+* no nested functions, closures, lambdas or decorators (mutants are
+  compiled stand-alone and hot-swapped via ``__code__`` replacement);
+* every function takes the process context ``ctx`` as its first parameter
+  and communicates failure through return values, not exceptions.
+"""
+
+from repro.ossim.modules import kernel3250, kernel3251, ntdll50, ntdll51
+
+__all__ = ["kernel3250", "kernel3251", "ntdll50", "ntdll51"]

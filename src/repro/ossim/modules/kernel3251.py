@@ -1,0 +1,394 @@
+"""``kernel32``-like API module, NT 5.1 build ("Windows XP SP1" analogue).
+
+FAULT INJECTION TARGET — see :mod:`repro.ossim.modules.ntdll50` for the
+style rules.  Functional superset of the 5.0 Win32 layer: the same exports
+plus ``GetFileAttributesW`` (backed by the 5.1-only
+``NtQueryAttributesFile``), existence probing in ``CreateFileW``, and
+chunked large reads in ``ReadFile``.
+"""
+
+from repro.ossim.status import NtStatus
+
+# Win32 error codes (subset).
+ERROR_SUCCESS = 0
+ERROR_FILE_NOT_FOUND = 2
+ERROR_PATH_NOT_FOUND = 3
+ERROR_ACCESS_DENIED = 5
+ERROR_INVALID_HANDLE = 6
+ERROR_NOT_ENOUGH_MEMORY = 8
+ERROR_SHARING_VIOLATION = 32
+ERROR_HANDLE_EOF = 38
+ERROR_INVALID_PARAMETER = 87
+ERROR_DISK_FULL = 112
+ERROR_ALREADY_EXISTS = 183
+ERROR_INTERNAL = 1359
+
+# File positioning methods (Win32 names).
+FILE_BEGIN = 0
+FILE_CURRENT = 1
+FILE_END = 2
+
+# Create dispositions (Win32 names, translated to NT dispositions).
+CREATE_NEW = 1
+OPEN_EXISTING = 3
+OPEN_ALWAYS = 4
+
+INVALID_HANDLE_VALUE = 0
+INVALID_SET_FILE_POINTER = -1
+INVALID_FILE_SIZE = -1
+INVALID_FILE_ATTRIBUTES = -1
+
+FILE_ATTRIBUTE_NORMAL = 0x80
+FILE_ATTRIBUTE_DIRECTORY = 0x10
+FILE_ATTRIBUTE_READONLY = 0x01
+
+READ_CHUNK_SIZE = 65536
+
+
+def _status_to_win32(status):
+    """Translate an NTSTATUS into the closest Win32 error code."""
+    code = ERROR_INTERNAL
+    if status == NtStatus.SUCCESS:
+        return ERROR_SUCCESS
+    if status == NtStatus.OBJECT_NAME_NOT_FOUND:
+        return ERROR_FILE_NOT_FOUND
+    if status == NtStatus.OBJECT_PATH_NOT_FOUND:
+        return ERROR_PATH_NOT_FOUND
+    if status == NtStatus.INVALID_HANDLE:
+        return ERROR_INVALID_HANDLE
+    if status == NtStatus.ACCESS_DENIED:
+        return ERROR_ACCESS_DENIED
+    if status == NtStatus.END_OF_FILE:
+        return ERROR_HANDLE_EOF
+    if status == NtStatus.NO_MEMORY:
+        return ERROR_NOT_ENOUGH_MEMORY
+    if status == NtStatus.SHARING_VIOLATION:
+        return ERROR_SHARING_VIOLATION
+    if status == NtStatus.OBJECT_NAME_COLLISION:
+        return ERROR_ALREADY_EXISTS
+    if status == NtStatus.DISK_FULL:
+        return ERROR_DISK_FULL
+    if status == NtStatus.INVALID_PARAMETER:
+        return ERROR_INVALID_PARAMETER
+    return code
+
+
+def GetLastError(ctx):
+    """Return the per-thread last error value."""
+    return ctx.last_error
+
+
+def SetLastError(ctx, error_code):
+    """Store the per-thread last error value."""
+    ctx.last_error = error_code
+    return None
+
+
+def CloseHandle(ctx, handle):
+    """Close any handle; returns True on success."""
+    status = NtStatus.SUCCESS
+    if handle == INVALID_HANDLE_VALUE:
+        SetLastError(ctx, ERROR_INVALID_HANDLE)
+        return False
+    if handle < 0:
+        SetLastError(ctx, ERROR_INVALID_HANDLE)
+        return False
+    status = ctx.api.NtClose(handle)
+    if status != NtStatus.SUCCESS:
+        SetLastError(ctx, _status_to_win32(status))
+        return False
+    SetLastError(ctx, ERROR_SUCCESS)
+    return True
+
+
+def GetFileAttributesW(ctx, dos_path):
+    """Attribute probe by DOS path (5.1 only); -1 on failure."""
+    status = NtStatus.SUCCESS
+    nt_path = None
+    attributes = None
+    result = 0
+    if dos_path is None or len(dos_path) == 0:
+        SetLastError(ctx, ERROR_INVALID_PARAMETER)
+        return INVALID_FILE_ATTRIBUTES
+    status, nt_path = ctx.api.RtlDosPathNameToNtPathName_U(dos_path)
+    if status != NtStatus.SUCCESS:
+        SetLastError(ctx, _status_to_win32(status))
+        return INVALID_FILE_ATTRIBUTES
+    status, attributes = ctx.api.NtQueryAttributesFile(nt_path)
+    ctx.api.RtlFreeUnicodeString(nt_path)
+    if status != NtStatus.SUCCESS:
+        SetLastError(ctx, _status_to_win32(status))
+        return INVALID_FILE_ATTRIBUTES
+    result = FILE_ATTRIBUTE_NORMAL
+    if attributes["directory"]:
+        result = FILE_ATTRIBUTE_DIRECTORY
+    if attributes["read_only"]:
+        result = result | FILE_ATTRIBUTE_READONLY
+    SetLastError(ctx, ERROR_SUCCESS)
+    return result
+
+
+def CreateFileW(ctx, dos_path, access, creation_disposition):
+    """Open or create a file by DOS path (5.1 variant); handle or 0.
+
+    XP probes the name before a plain open so a missing file fails without
+    building the full create machinery.
+    """
+    status = NtStatus.SUCCESS
+    nt_disposition = 1
+    handle = 0
+    nt_path = None
+    probe = None
+    if dos_path is None or len(dos_path) == 0:
+        SetLastError(ctx, ERROR_INVALID_PARAMETER)
+        return 0
+    if creation_disposition == CREATE_NEW:
+        nt_disposition = 2
+    if creation_disposition == OPEN_ALWAYS:
+        nt_disposition = 3
+    status, nt_path = ctx.api.RtlDosPathNameToNtPathName_U(dos_path)
+    if status != NtStatus.SUCCESS:
+        SetLastError(ctx, _status_to_win32(status))
+        return 0
+    if creation_disposition == OPEN_EXISTING:
+        status, probe = ctx.api.NtQueryAttributesFile(nt_path)
+        if status != NtStatus.SUCCESS:
+            ctx.api.RtlFreeUnicodeString(nt_path)
+            SetLastError(ctx, _status_to_win32(status))
+            return 0
+    status, handle = ctx.api.NtCreateFile(nt_path, access, nt_disposition)
+    ctx.api.RtlFreeUnicodeString(nt_path)
+    if status != NtStatus.SUCCESS:
+        SetLastError(ctx, _status_to_win32(status))
+        return 0
+    SetLastError(ctx, ERROR_SUCCESS)
+    return handle
+
+
+def ReadFile(ctx, handle, length):
+    """Synchronous read at the file cursor (5.1 variant).
+
+    Large reads are issued in chunks of READ_CHUNK_SIZE, as the XP cache
+    manager does; the returned buffer covers the full contiguous range.
+    Returns ``(ok, SimBuffer, bytes_read)``.
+    """
+    status = NtStatus.SUCCESS
+    buffer = None
+    chunk = None
+    actual = 0
+    total = 0
+    remaining = 0
+    request = 0
+    first_buffer = None
+    if handle == INVALID_HANDLE_VALUE:
+        SetLastError(ctx, ERROR_INVALID_HANDLE)
+        return (False, None, 0)
+    if length < 0:
+        SetLastError(ctx, ERROR_INVALID_PARAMETER)
+        return (False, None, 0)
+    if length <= READ_CHUNK_SIZE:
+        status, buffer, actual = ctx.api.NtReadFile(handle, length)
+        if status == NtStatus.END_OF_FILE:
+            SetLastError(ctx, ERROR_SUCCESS)
+            return (True, None, 0)
+        if status != NtStatus.SUCCESS:
+            SetLastError(ctx, _status_to_win32(status))
+            return (False, None, 0)
+        SetLastError(ctx, ERROR_SUCCESS)
+        return (True, buffer, actual)
+    remaining = length
+    for _chunk_index in range(1 + length // READ_CHUNK_SIZE):
+        if remaining <= 0:
+            break
+        request = remaining
+        if request > READ_CHUNK_SIZE:
+            request = READ_CHUNK_SIZE
+        status, chunk, actual = ctx.api.NtReadFile(handle, request)
+        if status == NtStatus.END_OF_FILE:
+            break
+        if status != NtStatus.SUCCESS:
+            SetLastError(ctx, _status_to_win32(status))
+            return (False, None, 0)
+        if first_buffer is None:
+            first_buffer = chunk
+        total = total + actual
+        remaining = remaining - actual
+        if actual < request:
+            break
+    SetLastError(ctx, ERROR_SUCCESS)
+    return (True, first_buffer, total)
+
+
+def WriteFile(ctx, handle, length):
+    """Synchronous write at the file cursor; returns ``(ok, written)``."""
+    status = NtStatus.SUCCESS
+    written = 0
+    if handle == INVALID_HANDLE_VALUE:
+        SetLastError(ctx, ERROR_INVALID_HANDLE)
+        return (False, 0)
+    if length < 0:
+        SetLastError(ctx, ERROR_INVALID_PARAMETER)
+        return (False, 0)
+    status, written = ctx.api.NtWriteFile(handle, length)
+    if status != NtStatus.SUCCESS:
+        SetLastError(ctx, _status_to_win32(status))
+        return (False, 0)
+    SetLastError(ctx, ERROR_SUCCESS)
+    return (True, written)
+
+
+def SetFilePointer(ctx, handle, distance, move_method):
+    """Move the file cursor; returns the new position or -1 on error."""
+    status = NtStatus.SUCCESS
+    info = None
+    base = 0
+    target = 0
+    if handle == INVALID_HANDLE_VALUE:
+        SetLastError(ctx, ERROR_INVALID_HANDLE)
+        return INVALID_SET_FILE_POINTER
+    if move_method < FILE_BEGIN or move_method > FILE_END:
+        SetLastError(ctx, ERROR_INVALID_PARAMETER)
+        return INVALID_SET_FILE_POINTER
+    status, info = ctx.api.NtQueryInformationFile(handle)
+    if status != NtStatus.SUCCESS:
+        SetLastError(ctx, _status_to_win32(status))
+        return INVALID_SET_FILE_POINTER
+    if move_method == FILE_BEGIN:
+        base = 0
+    if move_method == FILE_CURRENT:
+        base = info["position"]
+    if move_method == FILE_END:
+        base = info["size"]
+    target = base + distance
+    if target < 0:
+        SetLastError(ctx, ERROR_INVALID_PARAMETER)
+        return INVALID_SET_FILE_POINTER
+    status = ctx.api.NtSetInformationFile(handle, target)
+    if status != NtStatus.SUCCESS:
+        SetLastError(ctx, _status_to_win32(status))
+        return INVALID_SET_FILE_POINTER
+    SetLastError(ctx, ERROR_SUCCESS)
+    return target
+
+
+def SetEndOfFile(ctx, handle):
+    """Truncate (or extend) the file at the current cursor (5.1).
+
+    Returns True on success.  Adds a writability pre-check.
+    """
+    status = NtStatus.SUCCESS
+    info = None
+    done = False
+    file_object = None
+    if handle == INVALID_HANDLE_VALUE:
+        SetLastError(ctx, ERROR_INVALID_HANDLE)
+        return False
+    if handle < 0:
+        SetLastError(ctx, ERROR_INVALID_HANDLE)
+        return False
+    file_object = ctx.handles.resolve(handle, "File")
+    if file_object is None:
+        SetLastError(ctx, ERROR_INVALID_HANDLE)
+        return False
+    if not file_object.writable():
+        SetLastError(ctx, ERROR_ACCESS_DENIED)
+        return False
+    status, info = ctx.api.NtQueryInformationFile(handle)
+    if status != NtStatus.SUCCESS:
+        SetLastError(ctx, _status_to_win32(status))
+        return False
+    ctx.charge(130)
+    done = ctx.vfs.truncate(file_object.node, info["position"])
+    if not done:
+        SetLastError(ctx, ERROR_DISK_FULL)
+        return False
+    SetLastError(ctx, ERROR_SUCCESS)
+    return True
+
+
+def GetFileSize(ctx, handle):
+    """Size of an open file, or -1 on error."""
+    status = NtStatus.SUCCESS
+    info = None
+    if handle == INVALID_HANDLE_VALUE:
+        SetLastError(ctx, ERROR_INVALID_HANDLE)
+        return INVALID_FILE_SIZE
+    status, info = ctx.api.NtQueryInformationFile(handle)
+    if status != NtStatus.SUCCESS:
+        SetLastError(ctx, _status_to_win32(status))
+        return INVALID_FILE_SIZE
+    SetLastError(ctx, ERROR_SUCCESS)
+    return info["size"]
+
+
+def GetLongPathNameW(ctx, dos_path):
+    """Canonicalize a path against the live namespace (5.1).
+
+    Returns ``(length_in_chars, long_path)``; length 0 signals failure.
+    """
+    length = 0
+    full_path = ""
+    node = None
+    if dos_path is None or len(dos_path) == 0:
+        SetLastError(ctx, ERROR_INVALID_PARAMETER)
+        return (0, "")
+    length, full_path = ctx.api.RtlGetFullPathName_U(dos_path)
+    if length == 0:
+        SetLastError(ctx, ERROR_PATH_NOT_FOUND)
+        return (0, "")
+    node = ctx.vfs.lookup(full_path)
+    if node is None:
+        SetLastError(ctx, ERROR_FILE_NOT_FOUND)
+        return (0, "")
+    SetLastError(ctx, ERROR_SUCCESS)
+    return (len(full_path), full_path)
+
+
+def DeleteFileW(ctx, dos_path):
+    """Delete a file by DOS path (5.1: probes attributes first)."""
+    length = 0
+    full_path = ""
+    removed = False
+    attributes = 0
+    if dos_path is None or len(dos_path) == 0:
+        SetLastError(ctx, ERROR_INVALID_PARAMETER)
+        return False
+    attributes = GetFileAttributesW(ctx, dos_path)
+    if attributes == INVALID_FILE_ATTRIBUTES:
+        return False
+    if attributes & FILE_ATTRIBUTE_READONLY:
+        SetLastError(ctx, ERROR_ACCESS_DENIED)
+        return False
+    length, full_path = ctx.api.RtlGetFullPathName_U(dos_path)
+    if length == 0:
+        SetLastError(ctx, ERROR_PATH_NOT_FOUND)
+        return False
+    ctx.charge(85)
+    removed = ctx.vfs.delete(full_path)
+    if not removed:
+        SetLastError(ctx, ERROR_ACCESS_DENIED)
+        return False
+    SetLastError(ctx, ERROR_SUCCESS)
+    return True
+
+
+__exports__ = [
+    "CloseHandle",
+    "CreateFileW",
+    "ReadFile",
+    "WriteFile",
+    "SetFilePointer",
+    "SetEndOfFile",
+    "GetFileSize",
+    "GetFileAttributesW",
+    "GetLongPathNameW",
+    "DeleteFileW",
+    "GetLastError",
+    "SetLastError",
+]
+
+__internal__ = [
+    "_status_to_win32",
+]
+
+__module_name__ = "kernel32"

@@ -1,0 +1,640 @@
+"""``ntdll``-like API module, NT 5.0 build ("Windows 2000 SP4" analogue).
+
+FAULT INJECTION TARGET.  Every public function in this module is scanned by
+the G-SWFIT engine and may run *mutated* during an experiment.  The code is
+written in the C-like style described in :mod:`repro.ossim.modules`: all
+locals initialized in a block at the top, explicit status returns, compound
+``and`` validation, bookkeeping side-effect calls.  Do not "clean it up"
+into idiomatic Python — the constructs are the fault sites.
+"""
+
+from repro.ossim.status import NtStatus
+from repro.ossim.strings import AnsiString, UnicodeString
+from repro.ossim.memory import PAGE_SIZE
+from repro.ossim.objects import FileObject
+
+# Heap flags (subset of the native ones).
+HEAP_ZERO_MEMORY = 0x08
+HEAP_GENERATE_EXCEPTIONS = 0x04
+
+# File positioning methods.
+FILE_BEGIN = 0
+FILE_CURRENT = 1
+FILE_END = 2
+
+# Create dispositions.
+FILE_OPEN = 1
+FILE_CREATE = 2
+FILE_OPEN_IF = 3
+
+# Internal tuning constants.
+MAX_ALLOC_SIZE = 16 * 1024 * 1024
+MIN_ALLOC_GRAIN = 32
+MAX_PATH_LENGTH = 260
+MAX_COMPONENT_LENGTH = 64
+CONVERT_COST_PER_CHAR = 6
+COPY_COST_PER_BYTE = 220
+ZERO_COST_PER_BYTE = 2
+PATH_COST_PER_COMPONENT = 180
+ALLOC_RETRY_LIMIT = 2
+
+_ILLEGAL_PATH_CHARS = "<>\"|?*"
+
+
+# ----------------------------------------------------------------------
+# Internal helpers (also part of the fault injection target)
+# ----------------------------------------------------------------------
+
+def _resolve_file_handle(ctx, handle):
+    """Resolve ``handle`` to a live file object; returns None when invalid."""
+    file_object = None
+    if handle == 0:
+        return None
+    file_object = ctx.handles.resolve(handle, "File")
+    if file_object is None:
+        return None
+    if file_object.closed:
+        return None
+    return file_object
+
+
+def _is_path_char_legal(char):
+    """One character of a path component is acceptable."""
+    code = 0
+    code = ord(char)
+    if code < 32:
+        return False
+    if char in _ILLEGAL_PATH_CHARS:
+        return False
+    return True
+
+
+def _canonical_components(text):
+    """Split a DOS-ish path into canonical components.
+
+    Handles backslashes, drive prefixes, ``.`` and ``..`` segments, and
+    repeated separators.  Returns None when the path is malformed.
+    """
+    normalized = ""
+    components = []
+    output = []
+    index = 0
+    part = ""
+    normalized = text.replace("\\", "/")
+    if len(normalized) >= 2 and normalized[1] == ":":
+        normalized = normalized[2:]
+    components = normalized.split("/")
+    for part in components:
+        index = index + 1
+        if part == "" or part == ".":
+            continue
+        if part == "..":
+            if len(output) > 0:
+                output.pop()
+            continue
+        if len(part) > MAX_COMPONENT_LENGTH:
+            return None
+        for char in part:
+            if not _is_path_char_legal(char):
+                return None
+        output.append(part.lower())
+    return output
+
+
+# ----------------------------------------------------------------------
+# Rtl string runtime
+# ----------------------------------------------------------------------
+
+def RtlInitUnicodeString(ctx, destination, source):
+    """Initialize a counted UNICODE_STRING over ``source``.
+
+    Mirrors the native semantics: the buffer is *referenced*, not copied,
+    and the length fields are computed from the source text.
+    """
+    char_count = 0
+    if destination is None:
+        return NtStatus.INVALID_PARAMETER
+    if source is None:
+        destination.buffer = ""
+        destination.length = 0
+        destination.maximum_length = 0
+        destination.heap_address = 0
+        return NtStatus.SUCCESS
+    char_count = len(source)
+    ctx.charge(char_count)
+    destination.buffer = source
+    destination.length = char_count * 2
+    destination.maximum_length = char_count * 2 + 2
+    destination.heap_address = 0
+    return NtStatus.SUCCESS
+
+
+def RtlInitAnsiString(ctx, destination, source):
+    """Initialize a counted ANSI_STRING over ``source``."""
+    byte_count = 0
+    if destination is None:
+        return NtStatus.INVALID_PARAMETER
+    if source is None:
+        destination.buffer = ""
+        destination.length = 0
+        destination.maximum_length = 0
+        destination.heap_address = 0
+        return NtStatus.SUCCESS
+    byte_count = len(source)
+    ctx.charge(byte_count)
+    destination.buffer = source
+    destination.length = byte_count
+    destination.maximum_length = byte_count + 1
+    destination.heap_address = 0
+    return NtStatus.SUCCESS
+
+
+def RtlFreeUnicodeString(ctx, unicode_string):
+    """Release the heap buffer owned by a UNICODE_STRING, if any."""
+    freed = False
+    if unicode_string is None:
+        return NtStatus.INVALID_PARAMETER
+    if unicode_string.heap_address != 0:
+        freed = ctx.heap.free(unicode_string.heap_address)
+        if not freed:
+            ctx.heap.mark_corrupted("RtlFreeUnicodeString on bad buffer")
+        unicode_string.heap_address = 0
+    unicode_string.buffer = ""
+    unicode_string.length = 0
+    unicode_string.maximum_length = 0
+    return NtStatus.SUCCESS
+
+
+def RtlUnicodeToMultiByteN(ctx, unicode_string, max_bytes):
+    """Convert a UNICODE_STRING to a counted multi-byte string.
+
+    Returns ``(status, AnsiString, bytes_written)``.  When the destination
+    budget is too small the output is truncated and the status reports
+    BUFFER_TOO_SMALL, matching the native contract.
+    """
+    source_chars = 0
+    out_chars = 0
+    truncated = False
+    text = ""
+    result = None
+    if unicode_string is None or max_bytes < 0:
+        return (NtStatus.INVALID_PARAMETER, None, 0)
+    source_chars = unicode_string.length // 2
+    out_chars = source_chars
+    if out_chars > max_bytes:
+        out_chars = max_bytes
+        truncated = True
+    text = unicode_string.buffer[:out_chars]
+    ctx.charge(out_chars * CONVERT_COST_PER_CHAR)
+    result = AnsiString()
+    result.buffer = text
+    result.length = out_chars
+    result.maximum_length = max_bytes
+    if truncated:
+        return (NtStatus.BUFFER_TOO_SMALL, result, out_chars)
+    return (NtStatus.SUCCESS, result, out_chars)
+
+
+def RtlMultiByteToUnicodeN(ctx, ansi_string, max_chars):
+    """Convert a counted multi-byte string to a UNICODE_STRING."""
+    source_bytes = 0
+    out_chars = 0
+    truncated = False
+    text = ""
+    result = None
+    if ansi_string is None or max_chars < 0:
+        return (NtStatus.INVALID_PARAMETER, None, 0)
+    source_bytes = ansi_string.length
+    out_chars = source_bytes
+    if out_chars > max_chars:
+        out_chars = max_chars
+        truncated = True
+    text = ansi_string.buffer[:out_chars]
+    ctx.charge(out_chars * CONVERT_COST_PER_CHAR)
+    result = UnicodeString()
+    result.buffer = text
+    result.length = out_chars * 2
+    result.maximum_length = max_chars * 2
+    if truncated:
+        return (NtStatus.BUFFER_TOO_SMALL, result, out_chars)
+    return (NtStatus.SUCCESS, result, out_chars)
+
+
+def RtlDosPathNameToNtPathName_U(ctx, dos_path):
+    """Translate a DOS path into a canonical NT path.
+
+    Returns ``(status, UnicodeString)``.  The output buffer is allocated
+    from the process heap (and must be released with
+    ``RtlFreeUnicodeString``), which is why path-heavy workloads show heap
+    traffic even when the application never allocates directly.
+    """
+    components = None
+    nt_path = ""
+    address = 0
+    result = None
+    joined = ""
+    if dos_path is None:
+        return (NtStatus.INVALID_PARAMETER, None)
+    if len(dos_path) == 0:
+        return (NtStatus.OBJECT_PATH_NOT_FOUND, None)
+    if len(dos_path) > MAX_PATH_LENGTH:
+        return (NtStatus.OBJECT_PATH_NOT_FOUND, None)
+    components = _canonical_components(dos_path)
+    if components is None:
+        return (NtStatus.OBJECT_NAME_NOT_FOUND, None)
+    ctx.charge(len(components) * PATH_COST_PER_COMPONENT)
+    joined = "/".join(components)
+    nt_path = "/" + joined
+    address = RtlAllocateHeap(ctx, len(nt_path) * 2 + 2, 0)
+    if address == 0:
+        return (NtStatus.NO_MEMORY, None)
+    result = UnicodeString()
+    result.buffer = nt_path
+    result.length = len(nt_path) * 2
+    result.maximum_length = len(nt_path) * 2 + 2
+    result.heap_address = address
+    return (NtStatus.SUCCESS, result)
+
+
+def RtlGetFullPathName_U(ctx, path):
+    """Return ``(length_in_chars, full_path)`` for a DOS path, (0, "") on error."""
+    components = None
+    full_path = ""
+    if path is None or len(path) == 0:
+        return (0, "")
+    components = _canonical_components(path)
+    if components is None:
+        return (0, "")
+    ctx.charge(len(components) * PATH_COST_PER_COMPONENT)
+    full_path = "/" + "/".join(components)
+    return (len(full_path), full_path)
+
+
+# ----------------------------------------------------------------------
+# Rtl heap runtime
+# ----------------------------------------------------------------------
+
+def RtlAllocateHeap(ctx, size, flags=0):
+    """Allocate ``size`` bytes from the process heap.
+
+    Returns the block address or 0 on failure.  HEAP_ZERO_MEMORY charges a
+    zeroing pass and marks the block, which callers that skip their own
+    initialization rely on (a favourite hiding place for MVI-class faults).
+    """
+    rounded = 0
+    address = 0
+    attempt = 0
+    if size < 0:
+        return 0
+    if size > MAX_ALLOC_SIZE:
+        return 0
+    rounded = size
+    if rounded < MIN_ALLOC_GRAIN:
+        rounded = MIN_ALLOC_GRAIN
+    for attempt in range(ALLOC_RETRY_LIMIT):
+        address = ctx.heap.allocate(rounded, tag=flags)
+        if address != 0:
+            break
+    if address == 0:
+        return 0
+    if flags & HEAP_ZERO_MEMORY:
+        ctx.charge(rounded * ZERO_COST_PER_BYTE)
+        ctx.heap.set_zeroed(address)
+    return address
+
+
+def RtlFreeHeap(ctx, address, flags=0):
+    """Release a heap block.  Returns True on success.
+
+    A bad address corrupts the heap (recorded by the engine) but still
+    returns True, matching how the native heap frequently fails silently.
+    """
+    released = False
+    if address == 0:
+        return False
+    released = ctx.heap.free(address)
+    if not released:
+        return True
+    return True
+
+
+def RtlSizeHeap(ctx, address):
+    """Size of a live heap block, or -1 when the address is invalid."""
+    size = -1
+    if address == 0:
+        return -1
+    size = ctx.heap.block_size(address)
+    return size
+
+
+# ----------------------------------------------------------------------
+# Rtl critical sections
+# ----------------------------------------------------------------------
+
+def RtlEnterCriticalSection(ctx, section_name):
+    """Acquire a named critical section for the current thread."""
+    section = None
+    if section_name is None:
+        return NtStatus.INVALID_PARAMETER
+    section = ctx.sync.get(section_name)
+    ctx.charge(40)
+    section.enter(ctx.current_thread)
+    return NtStatus.SUCCESS
+
+
+def RtlLeaveCriticalSection(ctx, section_name):
+    """Release a named critical section held by the current thread."""
+    section = None
+    released = False
+    if section_name is None:
+        return NtStatus.INVALID_PARAMETER
+    section = ctx.sync.get(section_name)
+    ctx.charge(30)
+    released = section.leave(ctx.current_thread)
+    if not released:
+        return NtStatus.INVALID_PARAMETER
+    return NtStatus.SUCCESS
+
+
+# ----------------------------------------------------------------------
+# Nt file API
+# ----------------------------------------------------------------------
+
+def NtCreateFile(ctx, path_string, access, disposition, allocation_size=0):
+    """Open or create a file by NT path.
+
+    Returns ``(status, handle)``.  ``path_string`` is a UNICODE_STRING as
+    produced by ``RtlDosPathNameToNtPathName_U``; the *length field* is
+    trusted, so a fault that corrupted the counted length upstream shows up
+    here as a lookup of a truncated name.
+    """
+    path_text = ""
+    node = None
+    handle = 0
+    file_object = None
+    wants_write = False
+    if path_string is None:
+        return (NtStatus.INVALID_PARAMETER, 0)
+    if access is None or len(access) == 0:
+        return (NtStatus.INVALID_PARAMETER, 0)
+    if disposition < FILE_OPEN or disposition > FILE_OPEN_IF:
+        return (NtStatus.INVALID_PARAMETER, 0)
+    path_text = path_string.text()
+    if len(path_text) == 0:
+        return (NtStatus.OBJECT_PATH_NOT_FOUND, 0)
+    ctx.charge(len(path_text) * 2)
+    wants_write = "w" in access or "a" in access
+    node = ctx.vfs.lookup(path_text)
+    if node is not None and node.is_dir:
+        return (NtStatus.FILE_IS_A_DIRECTORY, 0)
+    if node is None:
+        if disposition == FILE_OPEN:
+            return (NtStatus.OBJECT_NAME_NOT_FOUND, 0)
+        node = ctx.vfs.create_file(path_text, size=allocation_size)
+        if node is None:
+            return (NtStatus.OBJECT_PATH_NOT_FOUND, 0)
+    else:
+        if disposition == FILE_CREATE:
+            return (NtStatus.OBJECT_NAME_COLLISION, 0)
+        if wants_write and node.read_only:
+            return (NtStatus.ACCESS_DENIED, 0)
+    file_object = FileObject(node, access=access)
+    node.open_count = node.open_count + 1
+    handle = ctx.handles.insert(file_object)
+    if handle == 0:
+        node.open_count = node.open_count - 1
+        return (NtStatus.TOO_MANY_OPENED_FILES, 0)
+    return (NtStatus.SUCCESS, handle)
+
+
+def NtOpenFile(ctx, path_string, access):
+    """Open an existing file by NT path; returns ``(status, handle)``."""
+    status = NtStatus.SUCCESS
+    handle = 0
+    status, handle = NtCreateFile(ctx, path_string, access, FILE_OPEN)
+    return (status, handle)
+
+
+def NtClose(ctx, handle):
+    """Close a handle of any type."""
+    closed = False
+    if handle == 0:
+        return NtStatus.INVALID_HANDLE
+    ctx.charge(25)
+    closed = ctx.handles.close(handle)
+    if not closed:
+        return NtStatus.INVALID_HANDLE
+    return NtStatus.SUCCESS
+
+
+def NtReadFile(ctx, handle, length, offset=None):
+    """Read from an open file.
+
+    Returns ``(status, SimBuffer, bytes_read)``.  When ``offset`` is None
+    the file cursor is used and advanced, as with a synchronous native read.
+    """
+    file_object = None
+    position = 0
+    buffer = None
+    actual = 0
+    file_object = _resolve_file_handle(ctx, handle)
+    if file_object is None:
+        return (NtStatus.INVALID_HANDLE, None, 0)
+    if not file_object.readable():
+        return (NtStatus.ACCESS_DENIED, None, 0)
+    if length < 0:
+        return (NtStatus.INVALID_PARAMETER, None, 0)
+    position = file_object.position
+    if offset is not None:
+        position = offset
+    if position >= file_object.node.size and length > 0:
+        return (NtStatus.END_OF_FILE, None, 0)
+    buffer = ctx.vfs.read(file_object.node, position, length)
+    actual = buffer.length
+    ctx.charge(actual * COPY_COST_PER_BYTE)
+    if offset is None:
+        file_object.position = position + actual
+    return (NtStatus.SUCCESS, buffer, actual)
+
+
+def NtWriteFile(ctx, handle, length, offset=None, record=None):
+    """Write to an open file; returns ``(status, bytes_written)``.
+
+    ``record`` is the structured-payload channel: the record is laid
+    down durably at the write offset (how a database persists a struct
+    into a file page).
+    """
+    file_object = None
+    position = 0
+    written = 0
+    file_object = _resolve_file_handle(ctx, handle)
+    if file_object is None:
+        return (NtStatus.INVALID_HANDLE, 0)
+    if not file_object.writable():
+        return (NtStatus.ACCESS_DENIED, 0)
+    if length < 0:
+        return (NtStatus.INVALID_PARAMETER, 0)
+    position = file_object.position
+    if offset is not None:
+        position = offset
+    written = ctx.vfs.write(file_object.node, position, length, record)
+    if written < 0:
+        return (NtStatus.DISK_FULL, 0)
+    ctx.charge(written * COPY_COST_PER_BYTE)
+    if offset is None:
+        file_object.position = position + written
+    file_object.pending_writes = file_object.pending_writes + 1
+    return (NtStatus.SUCCESS, written)
+
+
+def NtQueryFileRecords(ctx, handle, offset, length):
+    """Scatter-read the durable records of a file range.
+
+    Returns ``(status, [(offset, record), ...])``.  The gather/scatter
+    analogue databases use for recovery scans (WAL replay, checkpoint
+    loading).
+    """
+    file_object = None
+    records = None
+    end = 0
+    file_object = _resolve_file_handle(ctx, handle)
+    if file_object is None:
+        return (NtStatus.INVALID_HANDLE, None)
+    if not file_object.readable():
+        return (NtStatus.ACCESS_DENIED, None)
+    if offset < 0 or length < 0:
+        return (NtStatus.INVALID_PARAMETER, None)
+    end = offset + length
+    if end > file_object.node.size:
+        end = file_object.node.size
+    records = ctx.vfs.records_between(file_object.node, offset, end)
+    ctx.charge(80 + len(records) * 45)
+    return (NtStatus.SUCCESS, records)
+
+
+def NtQueryInformationFile(ctx, handle):
+    """Return ``(status, info_dict)`` with size/position/path of a file."""
+    file_object = None
+    info = None
+    file_object = _resolve_file_handle(ctx, handle)
+    if file_object is None:
+        return (NtStatus.INVALID_HANDLE, None)
+    ctx.charge(60)
+    info = {
+        "size": file_object.node.size,
+        "position": file_object.position,
+        "path": file_object.node.path(),
+        "version": file_object.node.version,
+    }
+    return (NtStatus.SUCCESS, info)
+
+
+def NtSetInformationFile(ctx, handle, position):
+    """Set the file cursor; returns a status code."""
+    file_object = None
+    file_object = _resolve_file_handle(ctx, handle)
+    if file_object is None:
+        return NtStatus.INVALID_HANDLE
+    if position < 0:
+        return NtStatus.INVALID_PARAMETER
+    ctx.charge(40)
+    file_object.position = position
+    return NtStatus.SUCCESS
+
+
+# ----------------------------------------------------------------------
+# Nt virtual memory API
+# ----------------------------------------------------------------------
+
+def NtProtectVirtualMemory(ctx, address, size, new_protection):
+    """Change protection of a mapped range.
+
+    Returns ``(status, old_protection)``.
+    """
+    old = -1
+    pages = 0
+    if address <= 0 or size <= 0:
+        return (NtStatus.INVALID_PARAMETER, 0)
+    if not ctx.vmem.valid_protection(new_protection):
+        return (NtStatus.INVALID_PARAMETER, 0)
+    pages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+    ctx.charge(pages * 15)
+    old = ctx.vmem.protect(address, size, new_protection)
+    if old < 0:
+        return (NtStatus.ACCESS_VIOLATION, 0)
+    return (NtStatus.SUCCESS, old)
+
+
+def NtQueryVirtualMemory(ctx, address):
+    """Query the region containing ``address``.
+
+    Returns ``(status, (base, size, protection))``.
+    """
+    info = None
+    if address <= 0:
+        return (NtStatus.INVALID_PARAMETER, None)
+    ctx.charge(35)
+    info = ctx.vmem.query(address)
+    if info is None:
+        return (NtStatus.INVALID_PARAMETER, None)
+    return (NtStatus.SUCCESS, info)
+
+
+# ----------------------------------------------------------------------
+# Misc executive services
+# ----------------------------------------------------------------------
+
+def NtDelayExecution(ctx, microseconds):
+    """Voluntary delay: charges CPU proportional to the requested interval."""
+    if microseconds < 0:
+        return NtStatus.INVALID_PARAMETER
+    ctx.charge(microseconds // 4)
+    return NtStatus.SUCCESS
+
+
+def NtQuerySystemTime(ctx):
+    """Return ``(status, ticks)`` from the machine clock (100ns units)."""
+    ticks = 0
+    ctx.charge(15)
+    ticks = int(ctx.kernel.time_source() * 10_000_000)
+    return (NtStatus.SUCCESS, ticks)
+
+
+# Exported names, in the module's canonical order.  The builds expose this
+# list to the dispatcher and the G-SWFIT scanner.
+__exports__ = [
+    "RtlInitUnicodeString",
+    "RtlInitAnsiString",
+    "RtlFreeUnicodeString",
+    "RtlUnicodeToMultiByteN",
+    "RtlMultiByteToUnicodeN",
+    "RtlDosPathNameToNtPathName_U",
+    "RtlGetFullPathName_U",
+    "RtlAllocateHeap",
+    "RtlFreeHeap",
+    "RtlSizeHeap",
+    "RtlEnterCriticalSection",
+    "RtlLeaveCriticalSection",
+    "NtCreateFile",
+    "NtOpenFile",
+    "NtClose",
+    "NtReadFile",
+    "NtWriteFile",
+    "NtQueryFileRecords",
+    "NtQueryInformationFile",
+    "NtSetInformationFile",
+    "NtProtectVirtualMemory",
+    "NtQueryVirtualMemory",
+    "NtDelayExecution",
+    "NtQuerySystemTime",
+]
+
+# Internal helpers scanned for faults alongside the exports (they are part
+# of the module's code, exactly like ntdll's internal routines).
+__internal__ = [
+    "_resolve_file_handle",
+    "_is_path_char_legal",
+    "_canonical_components",
+]
+
+__module_name__ = "ntdll"

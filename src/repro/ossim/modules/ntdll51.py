@@ -1,0 +1,858 @@
+"""``ntdll``-like API module, NT 5.1 build ("Windows XP SP1" analogue).
+
+FAULT INJECTION TARGET — see :mod:`repro.ossim.modules.ntdll50` for the
+style rules.  The 5.1 build is a functional superset of the 5.0 build: the
+same contracts, plus the hardening and performance machinery XP added on
+top of 2000 (reserved-name checks in the path translator, a small-block
+lookaside front end and tail validation in the heap, read prefetch
+accounting, stricter counted-string validation).  The extra code is the
+point: scanning this build yields a substantially larger faultload, which
+is the effect behind the paper's Table 3 (2927 faults on XP vs 1714 on
+Windows 2000).
+"""
+
+from repro.ossim.status import NtStatus
+from repro.ossim.strings import AnsiString, UnicodeString
+from repro.ossim.memory import PAGE_SIZE
+from repro.ossim.objects import FileObject
+
+# Heap flags.
+HEAP_ZERO_MEMORY = 0x08
+HEAP_GENERATE_EXCEPTIONS = 0x04
+HEAP_TAIL_CHECKING = 0x20
+
+# File positioning methods.
+FILE_BEGIN = 0
+FILE_CURRENT = 1
+FILE_END = 2
+
+# Create dispositions.
+FILE_OPEN = 1
+FILE_CREATE = 2
+FILE_OPEN_IF = 3
+
+# Internal tuning constants.
+MAX_ALLOC_SIZE = 16 * 1024 * 1024
+MIN_ALLOC_GRAIN = 32
+LOOKASIDE_MAX_SIZE = 1024
+LOOKASIDE_DEPTH = 32
+MAX_PATH_LENGTH = 260
+MAX_COMPONENT_LENGTH = 64
+CONVERT_COST_PER_CHAR = 8
+COPY_COST_PER_BYTE = 290
+ZERO_COST_PER_BYTE = 2
+PATH_COST_PER_COMPONENT = 210
+SECURITY_CHECK_COST = 55
+PREFETCH_WINDOW = 3
+PREFETCH_COST = 120
+ALLOC_RETRY_LIMIT = 2
+
+_ILLEGAL_PATH_CHARS = "<>\"|?*"
+_RESERVED_DEVICE_NAMES = (
+    "con", "prn", "aux", "nul",
+    "com1", "com2", "com3", "com4",
+    "lpt1", "lpt2", "lpt3",
+)
+
+
+# ----------------------------------------------------------------------
+# Internal helpers (also part of the fault injection target)
+# ----------------------------------------------------------------------
+
+def _resolve_file_handle(ctx, handle):
+    """Resolve ``handle`` to a live file object; returns None when invalid."""
+    file_object = None
+    if handle == 0:
+        return None
+    if handle < 0:
+        return None
+    file_object = ctx.handles.resolve(handle, "File")
+    if file_object is None:
+        return None
+    if file_object.closed:
+        return None
+    return file_object
+
+
+def _is_path_char_legal(char):
+    """One character of a path component is acceptable."""
+    code = 0
+    code = ord(char)
+    if code < 32:
+        return False
+    if char in _ILLEGAL_PATH_CHARS:
+        return False
+    return True
+
+
+def _is_reserved_component(part):
+    """True for DOS device names that must not appear as path components."""
+    stem = ""
+    dot = 0
+    stem = part
+    dot = part.find(".")
+    if dot >= 0:
+        stem = part[:dot]
+    if stem in _RESERVED_DEVICE_NAMES:
+        return True
+    return False
+
+
+def _canonical_components(ctx, text):
+    """Split a DOS-ish path into canonical components with 5.1 hardening.
+
+    In addition to the 5.0 normalization this rejects reserved device
+    names, trailing dots and spaces — the checks XP added after the
+    device-name path traversal advisories.
+    """
+    normalized = ""
+    components = []
+    output = []
+    index = 0
+    part = ""
+    trimmed = ""
+    normalized = text.replace("\\", "/")
+    if len(normalized) >= 2 and normalized[1] == ":":
+        normalized = normalized[2:]
+    components = normalized.split("/")
+    for part in components:
+        index = index + 1
+        if part == "" or part == ".":
+            continue
+        if part == "..":
+            if len(output) > 0:
+                output.pop()
+            continue
+        if len(part) > MAX_COMPONENT_LENGTH:
+            return None
+        trimmed = part.rstrip(". ")
+        if len(trimmed) == 0:
+            return None
+        ctx.charge(SECURITY_CHECK_COST)
+        if _is_reserved_component(trimmed.lower()):
+            return None
+        for char in trimmed:
+            if not _is_path_char_legal(char):
+                return None
+        output.append(trimmed.lower())
+    return output
+
+
+def _validate_counted_string(string_object, is_unicode):
+    """5.1 strict validation of a counted string's header fields."""
+    if string_object is None:
+        return False
+    if string_object.length < 0:
+        return False
+    if string_object.maximum_length < string_object.length:
+        return False
+    if is_unicode and string_object.length % 2 != 0:
+        return False
+    return True
+
+
+def _lookaside_state(ctx):
+    """Fetch (or create) the per-process small-block lookaside counters."""
+    state = None
+    state = ctx.os_state.get("lookaside")
+    if state is None:
+        state = {"hits": 0, "misses": 0, "pushes": 0, "lists": {}}
+        ctx.os_state["lookaside"] = state
+    return state
+
+
+def _lookaside_pop(ctx, rounded):
+    """Take a cached block address for ``rounded`` bytes, or 0."""
+    state = None
+    bucket = None
+    address = 0
+    state = _lookaside_state(ctx)
+    bucket = state["lists"].get(rounded)
+    if bucket is not None and len(bucket) > 0:
+        address = bucket.pop()
+        state["hits"] = state["hits"] + 1
+        return address
+    state["misses"] = state["misses"] + 1
+    return 0
+
+
+def _lookaside_push(ctx, rounded, address):
+    """Return a freed small block to the lookaside; False when full."""
+    state = None
+    bucket = None
+    state = _lookaside_state(ctx)
+    bucket = state["lists"].get(rounded)
+    if bucket is None:
+        bucket = []
+        state["lists"][rounded] = bucket
+    if len(bucket) >= LOOKASIDE_DEPTH:
+        return False
+    bucket.append(address)
+    state["pushes"] = state["pushes"] + 1
+    return True
+
+
+def _prefetch_state(ctx):
+    """Fetch (or create) the per-process read-prefetch window map."""
+    state = None
+    state = ctx.os_state.get("prefetch")
+    if state is None:
+        state = {}
+        ctx.os_state["prefetch"] = state
+    return state
+
+
+# ----------------------------------------------------------------------
+# Rtl string runtime
+# ----------------------------------------------------------------------
+
+def RtlInitUnicodeString(ctx, destination, source):
+    """Initialize a counted UNICODE_STRING over ``source`` (5.1 variant).
+
+    XP added an explicit length clamp so oversized sources set a truncated
+    but well-formed header instead of an inconsistent one.
+    """
+    char_count = 0
+    clamped = 0
+    if destination is None:
+        return NtStatus.INVALID_PARAMETER
+    if source is None:
+        destination.buffer = ""
+        destination.length = 0
+        destination.maximum_length = 0
+        destination.heap_address = 0
+        return NtStatus.SUCCESS
+    char_count = len(source)
+    clamped = char_count
+    if clamped > MAX_PATH_LENGTH * 4:
+        clamped = MAX_PATH_LENGTH * 4
+    ctx.charge(clamped)
+    destination.buffer = source[:clamped]
+    destination.length = clamped * 2
+    destination.maximum_length = clamped * 2 + 2
+    destination.heap_address = 0
+    return NtStatus.SUCCESS
+
+
+def RtlInitAnsiString(ctx, destination, source):
+    """Initialize a counted ANSI_STRING over ``source`` (5.1 variant)."""
+    byte_count = 0
+    clamped = 0
+    if destination is None:
+        return NtStatus.INVALID_PARAMETER
+    if source is None:
+        destination.buffer = ""
+        destination.length = 0
+        destination.maximum_length = 0
+        destination.heap_address = 0
+        return NtStatus.SUCCESS
+    byte_count = len(source)
+    clamped = byte_count
+    if clamped > MAX_PATH_LENGTH * 4:
+        clamped = MAX_PATH_LENGTH * 4
+    ctx.charge(clamped)
+    destination.buffer = source[:clamped]
+    destination.length = clamped
+    destination.maximum_length = clamped + 1
+    destination.heap_address = 0
+    return NtStatus.SUCCESS
+
+
+def RtlValidateUnicodeString(ctx, unicode_string):
+    """Strict header validation added in 5.1; returns a status code."""
+    consistent = False
+    ctx.charge(20)
+    consistent = _validate_counted_string(unicode_string, True)
+    if not consistent:
+        return NtStatus.INVALID_PARAMETER
+    if unicode_string.char_count() != len(unicode_string.buffer):
+        return NtStatus.INVALID_PARAMETER
+    return NtStatus.SUCCESS
+
+
+def RtlFreeUnicodeString(ctx, unicode_string):
+    """Release the heap buffer owned by a UNICODE_STRING, if any."""
+    freed = False
+    valid = False
+    if unicode_string is None:
+        return NtStatus.INVALID_PARAMETER
+    valid = _validate_counted_string(unicode_string, True)
+    if not valid:
+        ctx.heap.mark_corrupted("RtlFreeUnicodeString on malformed header")
+        return NtStatus.INVALID_PARAMETER
+    if unicode_string.heap_address != 0:
+        freed = ctx.heap.free(unicode_string.heap_address)
+        if not freed:
+            ctx.heap.mark_corrupted("RtlFreeUnicodeString on bad buffer")
+        unicode_string.heap_address = 0
+    unicode_string.buffer = ""
+    unicode_string.length = 0
+    unicode_string.maximum_length = 0
+    return NtStatus.SUCCESS
+
+
+def RtlUnicodeToMultiByteN(ctx, unicode_string, max_bytes):
+    """Convert a UNICODE_STRING to a counted multi-byte string (5.1).
+
+    Returns ``(status, AnsiString, bytes_written)``.  The 5.1 variant
+    validates the source header before trusting its length field.
+    """
+    source_chars = 0
+    out_chars = 0
+    truncated = False
+    text = ""
+    result = None
+    valid = False
+    if unicode_string is None or max_bytes < 0:
+        return (NtStatus.INVALID_PARAMETER, None, 0)
+    valid = _validate_counted_string(unicode_string, True)
+    if not valid:
+        return (NtStatus.INVALID_PARAMETER, None, 0)
+    source_chars = unicode_string.length // 2
+    out_chars = source_chars
+    if out_chars > max_bytes:
+        out_chars = max_bytes
+        truncated = True
+    text = unicode_string.buffer[:out_chars]
+    ctx.charge(out_chars * CONVERT_COST_PER_CHAR)
+    result = AnsiString()
+    result.buffer = text
+    result.length = out_chars
+    result.maximum_length = max_bytes
+    if truncated:
+        return (NtStatus.BUFFER_TOO_SMALL, result, out_chars)
+    return (NtStatus.SUCCESS, result, out_chars)
+
+
+def RtlMultiByteToUnicodeN(ctx, ansi_string, max_chars):
+    """Convert a counted multi-byte string to a UNICODE_STRING (5.1)."""
+    source_bytes = 0
+    out_chars = 0
+    truncated = False
+    text = ""
+    result = None
+    valid = False
+    if ansi_string is None or max_chars < 0:
+        return (NtStatus.INVALID_PARAMETER, None, 0)
+    valid = _validate_counted_string(ansi_string, False)
+    if not valid:
+        return (NtStatus.INVALID_PARAMETER, None, 0)
+    source_bytes = ansi_string.length
+    out_chars = source_bytes
+    if out_chars > max_chars:
+        out_chars = max_chars
+        truncated = True
+    text = ansi_string.buffer[:out_chars]
+    ctx.charge(out_chars * CONVERT_COST_PER_CHAR)
+    result = UnicodeString()
+    result.buffer = text
+    result.length = out_chars * 2
+    result.maximum_length = max_chars * 2
+    if truncated:
+        return (NtStatus.BUFFER_TOO_SMALL, result, out_chars)
+    return (NtStatus.SUCCESS, result, out_chars)
+
+
+def RtlDosPathNameToNtPathName_U(ctx, dos_path):
+    """Translate a DOS path into a canonical NT path (5.1 hardened).
+
+    Returns ``(status, UnicodeString)``.  Rejects reserved device names and
+    over-long inputs before any allocation happens.
+    """
+    components = None
+    nt_path = ""
+    address = 0
+    result = None
+    joined = ""
+    depth = 0
+    if dos_path is None:
+        return (NtStatus.INVALID_PARAMETER, None)
+    if len(dos_path) == 0:
+        return (NtStatus.OBJECT_PATH_NOT_FOUND, None)
+    if len(dos_path) > MAX_PATH_LENGTH:
+        return (NtStatus.OBJECT_PATH_NOT_FOUND, None)
+    components = _canonical_components(ctx, dos_path)
+    if components is None:
+        return (NtStatus.OBJECT_NAME_NOT_FOUND, None)
+    depth = len(components)
+    ctx.charge(depth * PATH_COST_PER_COMPONENT)
+    joined = "/".join(components)
+    nt_path = "/" + joined
+    address = RtlAllocateHeap(ctx, len(nt_path) * 2 + 2, 0)
+    if address == 0:
+        return (NtStatus.NO_MEMORY, None)
+    result = UnicodeString()
+    result.buffer = nt_path
+    result.length = len(nt_path) * 2
+    result.maximum_length = len(nt_path) * 2 + 2
+    result.heap_address = address
+    return (NtStatus.SUCCESS, result)
+
+
+def RtlGetFullPathName_U(ctx, path):
+    """Return ``(length_in_chars, full_path)`` for a DOS path (5.1)."""
+    components = None
+    full_path = ""
+    if path is None or len(path) == 0:
+        return (0, "")
+    if len(path) > MAX_PATH_LENGTH:
+        return (0, "")
+    components = _canonical_components(ctx, path)
+    if components is None:
+        return (0, "")
+    ctx.charge(len(components) * PATH_COST_PER_COMPONENT)
+    full_path = "/" + "/".join(components)
+    return (len(full_path), full_path)
+
+
+# ----------------------------------------------------------------------
+# Rtl heap runtime (lookaside front end added in 5.1)
+# ----------------------------------------------------------------------
+
+def RtlAllocateHeap(ctx, size, flags=0):
+    """Allocate ``size`` bytes from the process heap (5.1 variant).
+
+    Small requests are served from a per-size lookaside list when possible;
+    the main heap engine is the fallback.  Returns the block address or 0.
+    """
+    rounded = 0
+    address = 0
+    attempt = 0
+    small = False
+    if size < 0:
+        return 0
+    if size > MAX_ALLOC_SIZE:
+        return 0
+    rounded = size
+    if rounded < MIN_ALLOC_GRAIN:
+        rounded = MIN_ALLOC_GRAIN
+    if rounded <= LOOKASIDE_MAX_SIZE:
+        small = True
+    if small:
+        ctx.charge(12)
+        address = _lookaside_pop(ctx, rounded)
+        if address != 0 and ctx.heap.block_size(address) < 0:
+            # The cached address went stale (the block was freed behind the
+            # lookaside's back); fall back to the engine.
+            address = 0
+    if address == 0:
+        for attempt in range(ALLOC_RETRY_LIMIT):
+            address = ctx.heap.allocate(rounded, tag=flags)
+            if address != 0:
+                break
+    if address == 0:
+        return 0
+    if flags & HEAP_ZERO_MEMORY:
+        ctx.charge(rounded * ZERO_COST_PER_BYTE)
+        ctx.heap.set_zeroed(address)
+    return address
+
+
+def RtlFreeHeap(ctx, address, flags=0):
+    """Release a heap block (5.1 variant, with tail checking).
+
+    Returns True on success.  Tail checking validates the block header
+    before the release and reports corruption instead of freeing blindly.
+    """
+    released = False
+    size = 0
+    if address == 0:
+        return False
+    if flags & HEAP_TAIL_CHECKING:
+        ctx.charge(18)
+        size = ctx.heap.block_size(address)
+        if size < 0:
+            ctx.heap.mark_corrupted("tail check failed in RtlFreeHeap")
+            return False
+    released = ctx.heap.free(address)
+    if not released:
+        return True
+    return True
+
+
+def RtlSizeHeap(ctx, address):
+    """Size of a live heap block, or -1 when the address is invalid."""
+    size = -1
+    if address == 0:
+        return -1
+    size = ctx.heap.block_size(address)
+    return size
+
+
+# ----------------------------------------------------------------------
+# Rtl critical sections
+# ----------------------------------------------------------------------
+
+def RtlEnterCriticalSection(ctx, section_name):
+    """Acquire a named critical section (5.1: spin accounting added)."""
+    section = None
+    if section_name is None:
+        return NtStatus.INVALID_PARAMETER
+    section = ctx.sync.get(section_name)
+    ctx.charge(45)
+    section.enter(ctx.current_thread)
+    return NtStatus.SUCCESS
+
+
+def RtlLeaveCriticalSection(ctx, section_name):
+    """Release a named critical section held by the current thread."""
+    section = None
+    released = False
+    if section_name is None:
+        return NtStatus.INVALID_PARAMETER
+    section = ctx.sync.get(section_name)
+    ctx.charge(32)
+    released = section.leave(ctx.current_thread)
+    if not released:
+        return NtStatus.INVALID_PARAMETER
+    return NtStatus.SUCCESS
+
+
+# ----------------------------------------------------------------------
+# Nt file API
+# ----------------------------------------------------------------------
+
+def NtCreateFile(ctx, path_string, access, disposition, allocation_size=0):
+    """Open or create a file by NT path (5.1 variant).
+
+    Returns ``(status, handle)``.  Adds strict counted-string validation
+    and per-process open accounting on top of the 5.0 logic.
+    """
+    path_text = ""
+    node = None
+    handle = 0
+    file_object = None
+    wants_write = False
+    valid = False
+    opens = 0
+    if path_string is None:
+        return (NtStatus.INVALID_PARAMETER, 0)
+    if access is None or len(access) == 0:
+        return (NtStatus.INVALID_PARAMETER, 0)
+    if disposition < FILE_OPEN or disposition > FILE_OPEN_IF:
+        return (NtStatus.INVALID_PARAMETER, 0)
+    valid = _validate_counted_string(path_string, True)
+    if not valid:
+        return (NtStatus.INVALID_PARAMETER, 0)
+    path_text = path_string.text()
+    if len(path_text) == 0:
+        return (NtStatus.OBJECT_PATH_NOT_FOUND, 0)
+    ctx.charge(len(path_text) * 2)
+    ctx.charge(SECURITY_CHECK_COST)
+    wants_write = "w" in access or "a" in access
+    node = ctx.vfs.lookup(path_text)
+    if node is not None and node.is_dir:
+        return (NtStatus.FILE_IS_A_DIRECTORY, 0)
+    if node is None:
+        if disposition == FILE_OPEN:
+            return (NtStatus.OBJECT_NAME_NOT_FOUND, 0)
+        node = ctx.vfs.create_file(path_text, size=allocation_size)
+        if node is None:
+            return (NtStatus.OBJECT_PATH_NOT_FOUND, 0)
+    else:
+        if disposition == FILE_CREATE:
+            return (NtStatus.OBJECT_NAME_COLLISION, 0)
+        if wants_write and node.read_only:
+            return (NtStatus.ACCESS_DENIED, 0)
+    file_object = FileObject(node, access=access)
+    node.open_count = node.open_count + 1
+    handle = ctx.handles.insert(file_object)
+    if handle == 0:
+        node.open_count = node.open_count - 1
+        return (NtStatus.TOO_MANY_OPENED_FILES, 0)
+    opens = ctx.os_state.get("file_opens", 0)
+    ctx.os_state["file_opens"] = opens + 1
+    return (NtStatus.SUCCESS, handle)
+
+
+def NtOpenFile(ctx, path_string, access):
+    """Open an existing file by NT path; returns ``(status, handle)``."""
+    status = NtStatus.SUCCESS
+    handle = 0
+    status, handle = NtCreateFile(ctx, path_string, access, FILE_OPEN)
+    return (status, handle)
+
+
+def NtQueryAttributesFile(ctx, path_string):
+    """Existence/metadata probe by path (added in 5.1).
+
+    Returns ``(status, attributes_dict)`` without opening a handle.
+    """
+    path_text = ""
+    node = None
+    valid = False
+    if path_string is None:
+        return (NtStatus.INVALID_PARAMETER, None)
+    valid = _validate_counted_string(path_string, True)
+    if not valid:
+        return (NtStatus.INVALID_PARAMETER, None)
+    path_text = path_string.text()
+    if len(path_text) == 0:
+        return (NtStatus.OBJECT_PATH_NOT_FOUND, None)
+    ctx.charge(len(path_text))
+    node = ctx.vfs.lookup(path_text)
+    if node is None:
+        return (NtStatus.OBJECT_NAME_NOT_FOUND, None)
+    return (NtStatus.SUCCESS, {
+        "directory": node.is_dir,
+        "size": node.size,
+        "read_only": node.read_only,
+    })
+
+
+def NtClose(ctx, handle):
+    """Close a handle of any type (5.1: negative handles rejected)."""
+    closed = False
+    if handle == 0:
+        return NtStatus.INVALID_HANDLE
+    if handle < 0:
+        return NtStatus.INVALID_HANDLE
+    ctx.charge(28)
+    closed = ctx.handles.close(handle)
+    if not closed:
+        return NtStatus.INVALID_HANDLE
+    return NtStatus.SUCCESS
+
+
+def NtReadFile(ctx, handle, length, offset=None):
+    """Read from an open file (5.1 variant, with prefetch accounting).
+
+    Returns ``(status, SimBuffer, bytes_read)``.  Sequential reads within
+    the prefetch window are cheaper per byte, modelling the XP cache
+    manager's read-ahead.
+    """
+    file_object = None
+    position = 0
+    buffer = None
+    actual = 0
+    prefetch = None
+    window_end = 0
+    cost_per_byte = 0
+    file_object = _resolve_file_handle(ctx, handle)
+    if file_object is None:
+        return (NtStatus.INVALID_HANDLE, None, 0)
+    if not file_object.readable():
+        return (NtStatus.ACCESS_DENIED, None, 0)
+    if length < 0:
+        return (NtStatus.INVALID_PARAMETER, None, 0)
+    position = file_object.position
+    if offset is not None:
+        position = offset
+    if position >= file_object.node.size and length > 0:
+        return (NtStatus.END_OF_FILE, None, 0)
+    buffer = ctx.vfs.read(file_object.node, position, length)
+    actual = buffer.length
+    prefetch = _prefetch_state(ctx)
+    window_end = prefetch.get(handle, -1)
+    cost_per_byte = COPY_COST_PER_BYTE
+    if window_end >= 0 and position <= window_end:
+        cost_per_byte = COPY_COST_PER_BYTE - 40
+    ctx.charge(actual * cost_per_byte)
+    ctx.charge(PREFETCH_COST)
+    prefetch[handle] = position + actual * PREFETCH_WINDOW
+    if offset is None:
+        file_object.position = position + actual
+    return (NtStatus.SUCCESS, buffer, actual)
+
+
+def NtWriteFile(ctx, handle, length, offset=None, record=None):
+    """Write to an open file (5.1); returns ``(status, bytes_written)``.
+
+    ``record`` is the structured-payload channel (see the 5.0 variant).
+    """
+    file_object = None
+    position = 0
+    written = 0
+    prefetch = None
+    file_object = _resolve_file_handle(ctx, handle)
+    if file_object is None:
+        return (NtStatus.INVALID_HANDLE, 0)
+    if not file_object.writable():
+        return (NtStatus.ACCESS_DENIED, 0)
+    if length < 0:
+        return (NtStatus.INVALID_PARAMETER, 0)
+    position = file_object.position
+    if offset is not None:
+        position = offset
+    written = ctx.vfs.write(file_object.node, position, length, record)
+    if written < 0:
+        return (NtStatus.DISK_FULL, 0)
+    ctx.charge(written * COPY_COST_PER_BYTE)
+    if offset is None:
+        file_object.position = position + written
+    file_object.pending_writes = file_object.pending_writes + 1
+    prefetch = _prefetch_state(ctx)
+    if handle in prefetch:
+        # Writes invalidate the read-ahead window for this handle.
+        prefetch[handle] = -1
+    return (NtStatus.SUCCESS, written)
+
+
+def NtQueryFileRecords(ctx, handle, offset, length):
+    """Scatter-read the durable records of a file range (5.1 variant).
+
+    Returns ``(status, [(offset, record), ...])``.  Adds the range clamp
+    validation the 5.0 variant applies after the fact.
+    """
+    file_object = None
+    records = None
+    end = 0
+    file_object = _resolve_file_handle(ctx, handle)
+    if file_object is None:
+        return (NtStatus.INVALID_HANDLE, None)
+    if not file_object.readable():
+        return (NtStatus.ACCESS_DENIED, None)
+    if offset < 0 or length < 0:
+        return (NtStatus.INVALID_PARAMETER, None)
+    if offset > file_object.node.size:
+        return (NtStatus.SUCCESS, [])
+    end = offset + length
+    if end > file_object.node.size:
+        end = file_object.node.size
+    records = ctx.vfs.records_between(file_object.node, offset, end)
+    ctx.charge(90 + len(records) * 50)
+    return (NtStatus.SUCCESS, records)
+
+
+def NtQueryInformationFile(ctx, handle):
+    """Return ``(status, info_dict)`` with size/position/path of a file."""
+    file_object = None
+    info = None
+    file_object = _resolve_file_handle(ctx, handle)
+    if file_object is None:
+        return (NtStatus.INVALID_HANDLE, None)
+    ctx.charge(65)
+    info = {
+        "size": file_object.node.size,
+        "position": file_object.position,
+        "path": file_object.node.path(),
+        "version": file_object.node.version,
+    }
+    return (NtStatus.SUCCESS, info)
+
+
+def NtSetInformationFile(ctx, handle, position):
+    """Set the file cursor; returns a status code."""
+    file_object = None
+    prefetch = None
+    file_object = _resolve_file_handle(ctx, handle)
+    if file_object is None:
+        return NtStatus.INVALID_HANDLE
+    if position < 0:
+        return NtStatus.INVALID_PARAMETER
+    ctx.charge(45)
+    file_object.position = position
+    prefetch = _prefetch_state(ctx)
+    if handle in prefetch:
+        # A random seek invalidates the read-ahead window.
+        prefetch[handle] = -1
+    return NtStatus.SUCCESS
+
+
+# ----------------------------------------------------------------------
+# Nt virtual memory API
+# ----------------------------------------------------------------------
+
+def NtProtectVirtualMemory(ctx, address, size, new_protection):
+    """Change protection of a mapped range (5.1 variant).
+
+    Returns ``(status, old_protection)``.  Adds a range pre-check before
+    the protection change so partially-covered ranges fail cleanly.
+    """
+    old = -1
+    pages = 0
+    info = None
+    if address <= 0 or size <= 0:
+        return (NtStatus.INVALID_PARAMETER, 0)
+    if not ctx.vmem.valid_protection(new_protection):
+        return (NtStatus.INVALID_PARAMETER, 0)
+    info = ctx.vmem.query(address)
+    if info is None:
+        return (NtStatus.ACCESS_VIOLATION, 0)
+    if address + size > info[0] + info[1]:
+        return (NtStatus.INVALID_PARAMETER, 0)
+    pages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+    ctx.charge(pages * 17)
+    old = ctx.vmem.protect(address, size, new_protection)
+    if old < 0:
+        return (NtStatus.ACCESS_VIOLATION, 0)
+    return (NtStatus.SUCCESS, old)
+
+
+def NtQueryVirtualMemory(ctx, address):
+    """Query the region containing ``address`` (5.1).
+
+    Returns ``(status, (base, size, protection))``.
+    """
+    info = None
+    if address <= 0:
+        return (NtStatus.INVALID_PARAMETER, None)
+    ctx.charge(38)
+    info = ctx.vmem.query(address)
+    if info is None:
+        return (NtStatus.INVALID_PARAMETER, None)
+    return (NtStatus.SUCCESS, info)
+
+
+# ----------------------------------------------------------------------
+# Misc executive services
+# ----------------------------------------------------------------------
+
+def NtDelayExecution(ctx, microseconds):
+    """Voluntary delay: charges CPU proportional to the requested interval."""
+    if microseconds < 0:
+        return NtStatus.INVALID_PARAMETER
+    ctx.charge(microseconds // 4)
+    return NtStatus.SUCCESS
+
+
+def NtQuerySystemTime(ctx):
+    """Return ``(status, ticks)`` from the machine clock (100ns units)."""
+    ticks = 0
+    ctx.charge(15)
+    ticks = int(ctx.kernel.time_source() * 10_000_000)
+    return (NtStatus.SUCCESS, ticks)
+
+
+__exports__ = [
+    "RtlInitUnicodeString",
+    "RtlInitAnsiString",
+    "RtlValidateUnicodeString",
+    "RtlFreeUnicodeString",
+    "RtlUnicodeToMultiByteN",
+    "RtlMultiByteToUnicodeN",
+    "RtlDosPathNameToNtPathName_U",
+    "RtlGetFullPathName_U",
+    "RtlAllocateHeap",
+    "RtlFreeHeap",
+    "RtlSizeHeap",
+    "RtlEnterCriticalSection",
+    "RtlLeaveCriticalSection",
+    "NtCreateFile",
+    "NtOpenFile",
+    "NtQueryAttributesFile",
+    "NtClose",
+    "NtReadFile",
+    "NtWriteFile",
+    "NtQueryFileRecords",
+    "NtQueryInformationFile",
+    "NtSetInformationFile",
+    "NtProtectVirtualMemory",
+    "NtQueryVirtualMemory",
+    "NtDelayExecution",
+    "NtQuerySystemTime",
+]
+
+__internal__ = [
+    "_resolve_file_handle",
+    "_is_path_char_legal",
+    "_is_reserved_component",
+    "_canonical_components",
+    "_validate_counted_string",
+    "_lookaside_state",
+    "_lookaside_pop",
+    "_lookaside_push",
+    "_prefetch_state",
+]
+
+__module_name__ = "ntdll"

@@ -1,0 +1,143 @@
+"""Object manager and handle table.
+
+Every kernel resource a simulated process touches (files, sections, critical
+sections created through the API) is a :class:`KernelObject` referenced
+through a per-process :class:`HandleTable`, mirroring the NT executive's
+object manager.  Handle misuse — the classic victim of wrong-parameter
+faults — is therefore observable: a mutated call that passes a stale or
+wrong handle gets ``None`` back from :meth:`HandleTable.resolve` and the API
+function decides whether that is a recoverable ``INVALID_HANDLE`` status or
+a simulated access violation.
+"""
+
+from repro.sim.errors import SimSegfault
+
+__all__ = ["KernelObject", "FileObject", "HandleTable"]
+
+
+class KernelObject:
+    """Base class for kernel-managed objects."""
+
+    object_type = "Object"
+
+    def __init__(self, name=None):
+        self.name = name
+        self.ref_count = 1
+        self.closed = False
+
+    def reference(self):
+        self.ref_count += 1
+
+    def dereference(self):
+        """Drop a reference; returns True when the object died."""
+        if self.ref_count <= 0:
+            raise SimSegfault(
+                f"dereference of dead {self.object_type} object {self.name!r}"
+            )
+        self.ref_count -= 1
+        if self.ref_count == 0:
+            self.closed = True
+            self.on_close()
+            return True
+        return False
+
+    def on_close(self):
+        """Subclass hook run when the last reference is dropped."""
+
+    def __repr__(self):
+        return (
+            f"<{self.object_type} name={self.name!r} refs={self.ref_count}>"
+        )
+
+
+class FileObject(KernelObject):
+    """An open file: a node reference plus a cursor and access mode."""
+
+    object_type = "File"
+
+    def __init__(self, node, access="r", name=None):
+        super().__init__(name=name or node.path())
+        self.node = node
+        self.access = access
+        self.position = 0
+        self.pending_writes = 0
+
+    def readable(self):
+        return "r" in self.access
+
+    def writable(self):
+        return "w" in self.access or "a" in self.access
+
+    def on_close(self):
+        self.node.open_count -= 1
+
+
+class HandleTable:
+    """Per-process handle table.
+
+    Handles are small integers starting at 4 and stepping by 4, like NT.
+    Closed slots are recycled in order, so handle values are deterministic
+    for a deterministic call sequence.
+    """
+
+    FIRST_HANDLE = 4
+    STEP = 4
+
+    def __init__(self, capacity=4096):
+        self.capacity = capacity
+        self._slots = {}
+        self._free = []
+        self._next = self.FIRST_HANDLE
+        self.total_opened = 0
+
+    def __len__(self):
+        return len(self._slots)
+
+    def insert(self, obj):
+        """Store ``obj`` and return its handle value.
+
+        Returns 0 (an invalid handle) when the table is full, matching the
+        ``TOO_MANY_OPENED_FILES`` failure mode.
+        """
+        if len(self._slots) >= self.capacity:
+            return 0
+        if self._free:
+            handle = self._free.pop(0)
+        else:
+            handle = self._next
+            self._next += self.STEP
+        self._slots[handle] = obj
+        self.total_opened += 1
+        return handle
+
+    def resolve(self, handle, expected_type=None):
+        """Return the object for ``handle`` or None when invalid.
+
+        When ``expected_type`` is given, a live handle of another type also
+        resolves to None (type confusion is an error, not a crash, at this
+        layer).
+        """
+        obj = self._slots.get(handle)
+        if obj is None:
+            return None
+        if expected_type is not None and obj.object_type != expected_type:
+            return None
+        return obj
+
+    def close(self, handle):
+        """Close ``handle``.  Returns True on success, False when invalid."""
+        obj = self._slots.pop(handle, None)
+        if obj is None:
+            return False
+        self._free.append(handle)
+        obj.dereference()
+        return True
+
+    def handles(self):
+        """Snapshot of live handle values (sorted, for deterministic walks)."""
+        return sorted(self._slots)
+
+    def close_all(self):
+        """Close every live handle (process teardown)."""
+        for handle in self.handles():
+            self.close(handle)

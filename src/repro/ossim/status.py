@@ -1,0 +1,51 @@
+"""NT-style status codes.
+
+The mutable OS API communicates failure through these integer codes exactly
+like the Windows native API does; web servers decide per call site whether a
+non-success status is recoverable.  Keeping failures as *values* rather than
+exceptions matters for fault emulation: many real residual faults manifest
+as a wrong status or a success-with-bad-output, not as a crash.
+"""
+
+import enum
+
+__all__ = ["NtStatus", "nt_success"]
+
+
+class NtStatus(enum.IntEnum):
+    """Subset of NTSTATUS codes used by the simulated OS."""
+
+    SUCCESS = 0x00000000
+    PENDING = 0x00000103
+    END_OF_FILE = 0xC0000011
+    BUFFER_TOO_SMALL = 0xC0000023
+    INVALID_HANDLE = 0xC0000008
+    INVALID_PARAMETER = 0xC000000D
+    OBJECT_NAME_NOT_FOUND = 0xC0000034
+    OBJECT_NAME_COLLISION = 0xC0000035
+    OBJECT_PATH_NOT_FOUND = 0xC000003A
+    ACCESS_DENIED = 0xC0000022
+    ACCESS_VIOLATION = 0xC0000005
+    NO_MEMORY = 0xC0000017
+    INSUFFICIENT_RESOURCES = 0xC000009A
+    SHARING_VIOLATION = 0xC0000043
+    TOO_MANY_OPENED_FILES = 0xC000011F
+    HEAP_CORRUPTION = 0xC0000374
+    NOT_IMPLEMENTED = 0xC0000002
+    INVALID_DEVICE_REQUEST = 0xC0000010
+    FILE_IS_A_DIRECTORY = 0xC00000BA
+    NOT_A_DIRECTORY = 0xC0000103
+    DISK_FULL = 0xC000007F
+    INTERNAL_ERROR = 0xC00000E5
+    CANCELLED = 0xC0000120
+
+    def is_success(self):
+        return self == NtStatus.SUCCESS
+
+    def is_error(self):
+        return int(self) >= 0xC0000000
+
+
+def nt_success(status):
+    """True when ``status`` denotes success (SUCCESS or informational)."""
+    return 0 <= int(status) < 0xC0000000

@@ -1,0 +1,98 @@
+"""Counted-string structures (ANSI_STRING / UNICODE_STRING analogues).
+
+The NT runtime passes paths around as counted strings whose ``length`` and
+``maximum_length`` fields are maintained by hand in C — which is why so many
+of the field-data fault types (missing initialization, wrong value assigned)
+hit exactly this code.  We keep the same shape: the structures carry an
+explicit byte length next to the text, and consumers trust the *length
+field*, not the text, so a mutation that mis-computes a length truncates or
+garbles the path a web server asked the OS to open.
+"""
+
+__all__ = [
+    "AnsiString",
+    "UnicodeString",
+    "ansi_view",
+    "unicode_view",
+]
+
+
+class AnsiString:
+    """A counted 8-bit string: length/maximum_length in bytes."""
+
+    __slots__ = ("length", "maximum_length", "buffer", "heap_address")
+
+    def __init__(self, length=0, maximum_length=0, buffer="",
+                 heap_address=0):
+        self.length = length
+        self.maximum_length = maximum_length
+        self.buffer = buffer
+        self.heap_address = heap_address
+
+    def text(self):
+        """The string as seen through the length field (not the buffer)."""
+        return self.buffer[: max(0, self.length)]
+
+    def consistent(self):
+        """True when the length fields agree with the buffer contents."""
+        return (
+            0 <= self.length <= self.maximum_length
+            and self.length == len(self.buffer)
+        )
+
+    def __repr__(self):
+        return (
+            f"AnsiString(len={self.length}, max={self.maximum_length}, "
+            f"buffer={self.buffer!r})"
+        )
+
+
+class UnicodeString:
+    """A counted 16-bit string: length/maximum_length in *bytes* (2/char)."""
+
+    __slots__ = ("length", "maximum_length", "buffer", "heap_address")
+
+    def __init__(self, length=0, maximum_length=0, buffer="",
+                 heap_address=0):
+        self.length = length
+        self.maximum_length = maximum_length
+        self.buffer = buffer
+        self.heap_address = heap_address
+
+    def char_count(self):
+        return max(0, self.length) // 2
+
+    def text(self):
+        """The string as seen through the length field (not the buffer)."""
+        return self.buffer[: self.char_count()]
+
+    def consistent(self):
+        return (
+            0 <= self.length <= self.maximum_length
+            and self.length % 2 == 0
+            and self.char_count() == len(self.buffer)
+        )
+
+    def __repr__(self):
+        return (
+            f"UnicodeString(len={self.length}, max={self.maximum_length}, "
+            f"buffer={self.buffer!r})"
+        )
+
+
+def ansi_view(text):
+    """Build a consistent :class:`AnsiString` over ``text`` (test helper)."""
+    return AnsiString(
+        length=len(text),
+        maximum_length=len(text) + 1,
+        buffer=text,
+    )
+
+
+def unicode_view(text):
+    """Build a consistent :class:`UnicodeString` over ``text``."""
+    return UnicodeString(
+        length=len(text) * 2,
+        maximum_length=(len(text) + 1) * 2,
+        buffer=text,
+    )

@@ -1,0 +1,117 @@
+"""Synchronization primitives (critical sections).
+
+The engine behind ``RtlEnterCriticalSection``/``RtlLeaveCriticalSection``.
+Because request handlers execute synchronously inside the event simulation,
+two healthy workers can never actually contend — a section found *owned by
+another thread* is always a leak: some earlier handler exited without
+releasing it (e.g. because a mutation removed the Leave call).  A native
+thread would block forever; the engine reports that as
+:class:`~repro.sim.errors.SimBlockedForever`, which the server process model
+turns into a hung worker — the mechanism behind most of the paper's "killed,
+not responding" (KNS) events.
+"""
+
+from repro.sim.errors import SimBlockedForever, SimSegfault
+
+__all__ = ["CriticalSection", "SyncRegistry"]
+
+
+class CriticalSection:
+    """An NT-style recursive mutex."""
+
+    __slots__ = (
+        "name", "owner", "recursion", "enter_count", "leave_count",
+        "corrupted",
+    )
+
+    def __init__(self, name):
+        self.name = name
+        self.owner = None
+        self.recursion = 0
+        self.enter_count = 0
+        self.leave_count = 0
+        self.corrupted = False
+
+    def held(self):
+        return self.owner is not None
+
+    def enter(self, thread_id):
+        """Acquire for ``thread_id``.
+
+        Raises ``SimSegfault`` on a corrupted section and
+        ``SimBlockedForever`` when the section is leaked by another thread.
+        """
+        if self.corrupted:
+            raise SimSegfault(
+                f"critical section {self.name!r} is corrupted"
+            )
+        if self.owner is None:
+            self.owner = thread_id
+            self.recursion = 1
+        elif self.owner == thread_id:
+            self.recursion += 1
+        else:
+            raise SimBlockedForever(
+                f"critical section {self.name!r} leaked by thread "
+                f"{self.owner!r}; thread {thread_id!r} would block forever"
+            )
+        self.enter_count += 1
+
+    def leave(self, thread_id):
+        """Release for ``thread_id``.  Returns True on success.
+
+        Releasing a section the thread does not own corrupts it — matching
+        the undefined behaviour of the native primitive.
+        """
+        if self.owner != thread_id or self.recursion <= 0:
+            self.corrupted = True
+            return False
+        self.recursion -= 1
+        self.leave_count += 1
+        if self.recursion == 0:
+            self.owner = None
+        return True
+
+    def force_release(self, thread_id):
+        """Steal the lock from a dead thread (process-recovery path)."""
+        if self.owner == thread_id:
+            self.owner = None
+            self.recursion = 0
+            return True
+        return False
+
+    def __repr__(self):
+        return (
+            f"CriticalSection({self.name!r}, owner={self.owner!r}, "
+            f"recursion={self.recursion})"
+        )
+
+
+class SyncRegistry:
+    """Per-process registry of named critical sections."""
+
+    def __init__(self):
+        self._sections = {}
+
+    def get(self, name):
+        """Return the section named ``name``, creating it on first use."""
+        section = self._sections.get(name)
+        if section is None:
+            section = CriticalSection(name)
+            self._sections[name] = section
+        return section
+
+    def sections(self):
+        return list(self._sections.values())
+
+    def leaked_sections(self):
+        """Sections currently held — candidates for deadlock on next enter."""
+        return [s for s in self._sections.values() if s.held()]
+
+    def release_thread(self, thread_id):
+        """Force-release everything a (dead) thread still holds."""
+        released = 0
+        for section in self._sections.values():
+            if section.force_release(thread_id):
+                released += 1
+        return released

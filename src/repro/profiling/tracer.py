@@ -1,0 +1,66 @@
+"""API call tracing.
+
+The analogue of the API tracing tool the paper uses in Section 3.3: attach
+an :class:`ApiCallTracer` to an :class:`~repro.ossim.dispatch.OsInstance`
+and every call that flows through the API dispatch — including the calls
+the Win32 layer forwards to ``ntdll`` — is counted per function.
+"""
+
+__all__ = ["ApiCallTracer"]
+
+
+class ApiCallTracer:
+    """Counts API calls per (module, function)."""
+
+    def __init__(self, label=""):
+        self.label = label
+        self.counts = {}
+        self.total_calls = 0
+        self.enabled = True
+
+    def record(self, module_display, function_name):
+        """Called by the dispatcher on every API call."""
+        if not self.enabled:
+            return
+        key = (module_display, function_name)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.total_calls += 1
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def percentage(self, module_display, function_name):
+        """Share of total calls for one function, in percent."""
+        if self.total_calls == 0:
+            return 0.0
+        count = self.counts.get((module_display, function_name), 0)
+        return 100.0 * count / self.total_calls
+
+    def percentages(self):
+        """Mapping (module, function) -> percentage of total calls."""
+        if self.total_calls == 0:
+            return {}
+        return {
+            key: 100.0 * count / self.total_calls
+            for key, count in self.counts.items()
+        }
+
+    def functions(self):
+        """Sorted set of (module, function) keys observed."""
+        return sorted(self.counts)
+
+    def reset(self):
+        self.counts.clear()
+        self.total_calls = 0
+
+    def merge(self, other):
+        """Fold another tracer's counts into this one."""
+        for key, count in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + count
+        self.total_calls += other.total_calls
+
+    def __repr__(self):
+        return (
+            f"ApiCallTracer(label={self.label!r}, "
+            f"functions={len(self.counts)}, total={self.total_calls})"
+        )

@@ -1,0 +1,36 @@
+"""Reporting: tables, figure series, and paper-vs-measured comparisons."""
+
+from repro.reporting.tables import TableBuilder, format_table
+from repro.reporting.paper import PAPER
+from repro.reporting.report import (
+    table1_fault_types,
+    table2_api_usage,
+    table3_faultload_details,
+    table4_intrusiveness,
+    table5_results,
+    figure5_series,
+)
+from repro.reporting.compare import ShapeCheck, compare_shape
+from repro.reporting.export import (
+    export_campaign,
+    export_faultload_summary,
+)
+from repro.reporting.figures import bar_chart, figure5_panels
+
+__all__ = [
+    "PAPER",
+    "ShapeCheck",
+    "TableBuilder",
+    "bar_chart",
+    "compare_shape",
+    "export_campaign",
+    "export_faultload_summary",
+    "figure5_panels",
+    "figure5_series",
+    "format_table",
+    "table1_fault_types",
+    "table2_api_usage",
+    "table3_faultload_details",
+    "table4_intrusiveness",
+    "table5_results",
+]

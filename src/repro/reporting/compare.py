@@ -1,0 +1,161 @@
+"""Shape comparison against the paper's claims.
+
+The reproduction runs on a simulator, so absolute numbers differ from the
+paper's testbed; what must hold is the *shape* — who wins, in which
+direction, and roughly by what kind of factor.  Each claim is encoded as a
+:class:`ShapeCheck`; the benches print and assert them.
+"""
+
+from dataclasses import dataclass
+
+from repro.faults.types import FaultType
+
+__all__ = [
+    "ShapeCheck",
+    "compare_shape",
+    "table3_shape_checks",
+    "table4_shape_checks",
+    "table5_shape_checks",
+]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One claim from the paper and whether the reproduction satisfies it."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self):
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+def compare_shape(checks):
+    """Summarize checks; returns (all_passed, rendered_report)."""
+    lines = [str(check) for check in checks]
+    passed = all(check.passed for check in checks)
+    lines.append(
+        f"=> {sum(c.passed for c in checks)}/{len(checks)} shape claims hold"
+    )
+    return passed, "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Table 3 — faultload shape
+# ----------------------------------------------------------------------
+
+def table3_shape_checks(counts_w2k, counts_xp, total_w2k, total_xp):
+    """Shape claims of Table 3.
+
+    * the XP-analogue faultload is substantially larger (paper: 1.71x);
+    * MIA is the most frequent type on both builds;
+    * MVAV and WAEP are among the rarest types on both builds.
+    """
+    checks = []
+    ratio = total_xp / total_w2k if total_w2k else 0.0
+    checks.append(ShapeCheck(
+        "XP faultload larger than Win2000",
+        1.2 <= ratio,
+        f"ratio {ratio:.2f} (paper: 1.71)",
+    ))
+    for label, counts in (("Win2000", counts_w2k), ("WinXP", counts_xp)):
+        top = max(counts, key=counts.get)
+        checks.append(ShapeCheck(
+            f"MIA most frequent on {label}",
+            top == FaultType.MIA,
+            f"top type {top.value} ({counts[top]})",
+        ))
+        bottom3 = sorted(counts, key=counts.get)[:3]
+        rare_ok = (FaultType.MVAV in bottom3) and (FaultType.WAEP in bottom3)
+        checks.append(ShapeCheck(
+            f"MVAV and WAEP among rarest on {label}",
+            rare_ok,
+            f"bottom 3: {[ft.value for ft in bottom3]}",
+        ))
+    return checks
+
+
+# ----------------------------------------------------------------------
+# Table 4 — intrusiveness shape
+# ----------------------------------------------------------------------
+
+def table4_shape_checks(degradations_percent, limit=5.0):
+    """All profile-mode degradations stay small (paper: worst 1.96%)."""
+    checks = []
+    for combo, degradation in degradations_percent.items():
+        checks.append(ShapeCheck(
+            f"low intrusiveness for {combo}",
+            abs(degradation) <= limit,
+            f"degradation {degradation:.2f}% (paper worst case: 1.96%)",
+        ))
+    return checks
+
+
+# ----------------------------------------------------------------------
+# Table 5 / Figure 5 — the headline comparison
+# ----------------------------------------------------------------------
+
+def table5_shape_checks(metrics_by_combo):
+    """The paper's comparison claims.
+
+    ``metrics_by_combo`` maps (os_codename, server_name) to a
+    :class:`~repro.harness.metrics.DependabilityMetrics`.  Checked per OS:
+
+    * Apache's error rate under faults is lower than Abyss's;
+    * Apache keeps a larger fraction of its baseline SPC;
+    * Abyss dies without self-restart more often (MIS);
+    * Apache needs no more administrator interventions than Abyss;
+    * throughput under faults stays within ~25% of baseline for both;
+    * and the Apache-over-Abyss ordering is the same on both OSes
+      (the portability argument).
+    """
+    checks = []
+    oses = sorted({os_name for os_name, _server in metrics_by_combo})
+    winners = {}
+    for os_name in oses:
+        apache = metrics_by_combo[(os_name, "apache")]
+        abyss = metrics_by_combo[(os_name, "abyss")]
+        checks.append(ShapeCheck(
+            f"[{os_name}] Apache ER%f < Abyss ER%f",
+            apache.erf_percent < abyss.erf_percent,
+            f"{apache.erf_percent:.2f} vs {abyss.erf_percent:.2f} "
+            f"(paper: 7.7 vs 21.9 on W2k)",
+        ))
+        checks.append(ShapeCheck(
+            f"[{os_name}] Apache keeps more of its SPC",
+            apache.spc_relative > abyss.spc_relative,
+            f"{apache.spc_relative:.2f} vs {abyss.spc_relative:.2f} "
+            f"(paper: 0.36 vs 0.27 on W2k)",
+        ))
+        checks.append(ShapeCheck(
+            f"[{os_name}] Abyss MIS > Apache MIS",
+            abyss.mis > apache.mis,
+            f"{abyss.mis:.1f} vs {apache.mis:.1f} "
+            f"(paper: 130.3 vs 60 on W2k)",
+        ))
+        checks.append(ShapeCheck(
+            f"[{os_name}] Apache ADMf <= Abyss ADMf",
+            apache.admf <= abyss.admf,
+            f"{apache.admf:.1f} vs {abyss.admf:.1f} "
+            f"(paper: 130 vs 169 on W2k)",
+        ))
+        for server, metrics in (("apache", apache), ("abyss", abyss)):
+            checks.append(ShapeCheck(
+                f"[{os_name}] {server} THR under faults stays high",
+                metrics.thr_relative >= 0.75,
+                f"THRf/THR = {metrics.thr_relative:.2f} "
+                f"(paper: ~0.95)",
+            ))
+        winners[os_name] = (
+            "apache" if apache.erf_percent < abyss.erf_percent else "abyss"
+        )
+    if len(oses) >= 2:
+        stable = len(set(winners.values())) == 1
+        checks.append(ShapeCheck(
+            "winner stable across OS builds (portability)",
+            stable,
+            f"winner per OS: {winners}",
+        ))
+    return checks

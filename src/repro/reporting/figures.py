@@ -1,0 +1,63 @@
+"""Plain-text figure rendering.
+
+The paper's Figure 5 is a panel of bar charts; the bench regenerates the
+numbers, and this module renders them as aligned ASCII bars so the
+comparison is *visible* in terminal output and in committed bench logs.
+"""
+
+__all__ = ["bar_chart", "figure5_panels"]
+
+_BAR_WIDTH = 40
+
+
+def bar_chart(title, values, width=_BAR_WIDTH, unit=""):
+    """Render one labelled bar chart.
+
+    ``values`` is an ordered mapping label -> number.  Bars are scaled to
+    the maximum value; zero/negative values render as empty bars.
+    """
+    lines = [title]
+    if not values:
+        lines.append("  (no data)")
+        return "\n".join(lines)
+    peak = max(max(values.values()), 0.0)
+    label_width = max(len(str(label)) for label in values)
+    for label, value in values.items():
+        if peak > 0 and value > 0:
+            filled = max(1, round(width * value / peak))
+        else:
+            filled = 0
+        bar = "#" * filled
+        lines.append(
+            f"  {str(label).ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def figure5_panels(series, combos=None):
+    """Render the Figure 5 panels from
+    :func:`repro.reporting.report.figure5_series` output."""
+    if combos is None:
+        combos = list(next(iter(series.values())))
+    panels = []
+    panel_specs = [
+        ("SPC: baseline vs faultload",
+         [("SPC_baseline", " base"), ("SPCf", " fault")], ""),
+        ("THR: baseline vs faultload",
+         [("THR_baseline", " base"), ("THRf", " fault")], " ops/s"),
+        ("RTM: baseline vs faultload",
+         [("RTM_baseline", " base"), ("RTMf", " fault")], " ms"),
+        ("ER%f (error rate under faults)", [("ER%f", "")], " %"),
+        ("ADMf (administrator interventions)", [("ADMf", "")], ""),
+    ]
+    for title, rows, unit in panel_specs:
+        values = {}
+        for combo in combos:
+            combo_label = "/".join(str(part) for part in combo)
+            for series_name, suffix in rows:
+                values[f"{combo_label}{suffix}"] = (
+                    series[series_name][combo]
+                )
+        panels.append(bar_chart(title, values, unit=unit))
+    return "\n\n".join(panels)

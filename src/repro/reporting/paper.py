@@ -1,0 +1,119 @@
+"""The paper's published numbers, for shape comparison.
+
+These are the values printed in Durães & Madeira, DSN 2004 ("Generic
+Faultloads Based on Software Faults for Dependability Benchmarking").  The
+reproduction is not expected to match them absolutely — the substrate here
+is a simulator, not the authors' two-machine Windows testbed — but the
+*shape* claims derived from them are checked by the benches.
+"""
+
+__all__ = ["PAPER"]
+
+PAPER = {
+    # Table 1 — fault type field coverage (percent of all field faults).
+    "table1": {
+        "MVI": 2.25, "MVAV": 2.25, "MVAE": 3.0, "MIA": 4.32,
+        "MLAC": 7.89, "MFC": 8.64, "MIFS": 9.96, "MLPC": 3.19,
+        "WVAV": 2.44, "WLEC": 3.0, "WAEP": 2.25, "WPFV": 1.5,
+        "total": 50.69,
+    },
+    # Table 2 — the function set selected by profiling, with the average
+    # share of all API calls each carries, and the total call coverage.
+    "table2": {
+        "functions": {
+            ("Ntdll", "NtClose"): 1.9,
+            ("Ntdll", "NtCreateFile"): 0.43,
+            ("Ntdll", "NtOpenFile"): 0.9,
+            ("Ntdll", "NtProtectVirtualMemory"): 2.95,
+            ("Ntdll", "NtQueryVirtualMemory"): 1.43,
+            ("Ntdll", "NtReadFile"): 2.28,
+            ("Ntdll", "NtWriteFile"): 0.4,
+            ("Ntdll", "RtlAllocateHeap"): 13.5,
+            ("Ntdll", "RtlDosPathNameToNtPathName_U"): 1.55,
+            ("Ntdll", "RtlEnterCriticalSection"): 2.43,
+            ("Ntdll", "RtlFreeHeap"): 18.4,
+            ("Ntdll", "RtlFreeUnicodeString"): 0.65,
+            ("Ntdll", "RtlInitAnsiString"): 0.9,
+            ("Ntdll", "RtlInitUnicodeString"): 3.23,
+            ("Ntdll", "RtlLeaveCriticalSection"): 2.43,
+            ("Ntdll", "RtlUnicodeToMultiByteN"): 11.35,
+            ("Kernel32", "CloseHandle"): 0.78,
+            ("Kernel32", "GetLongPathNameW"): 0.1,
+            ("Kernel32", "ReadFile"): 2.2,
+            ("Kernel32", "SetFilePointer"): 0.15,
+            ("Kernel32", "WriteFile"): 0.38,
+        },
+        "total_call_coverage": 68.34,
+        "profiled_servers": ["Apache", "Abyss", "Samba", "Savant"],
+    },
+    # Table 3 — faults per type per OS build.
+    "table3": {
+        "win2000": {
+            "MVI": 149, "MVAV": 4, "MVAE": 129, "MIA": 497, "MLAC": 147,
+            "MFC": 392, "MIFS": 200, "MLPC": 50, "WVAV": 33, "WLEC": 71,
+            "WAEP": 11, "WPFV": 31, "total": 1714,
+        },
+        "winxp": {
+            "MVI": 192, "MVAV": 5, "MVAE": 117, "MIA": 899, "MLAC": 253,
+            "MFC": 629, "MIFS": 471, "MLPC": 94, "WVAV": 59, "WLEC": 163,
+            "WAEP": 11, "WPFV": 34, "total": 2927,
+        },
+    },
+    # Table 4 — max performance vs profile mode (intrusiveness).
+    # Keys: (os, server) -> {metric: (max_perf, profile_mode)}.
+    "table4": {
+        ("win2000", "apache"): {
+            "SPC": (37, 37), "CC%": (100, 100),
+            "THR": (104.2, 103.0), "RTM": (354.2, 358.1),
+        },
+        ("win2000", "abyss"): {
+            "SPC": (34, 34), "CC%": (100, 100),
+            "THR": (95.9, 95.3), "RTM": (355.5, 358.1),
+        },
+        ("winxp", "apache"): {
+            "SPC": (34, 34), "CC%": (100, 100),
+            "THR": (93.9, 92.9), "RTM": (361.2, 365.5),
+        },
+        ("winxp", "abyss"): {
+            "SPC": (33, 33), "CC%": (100, 100),
+            "THR": (93.7, 92.0), "RTM": (352.5, 359.4),
+        },
+        "worst_degradation_percent": 1.96,
+    },
+    # Table 5 — averages over the three iterations (plus baselines).
+    # Keys: (os, server) -> row.
+    "table5": {
+        ("win2000", "apache"): {
+            "SPC_baseline": 37, "THR_baseline": 103.0,
+            "RTM_baseline": 358.1,
+            "SPC": 13.4, "THR": 98.1, "RTM": 367.2, "ER%": 7.7,
+            "MIS": 60, "KCP": 1, "KNS": 69,
+        },
+        ("win2000", "abyss"): {
+            "SPC_baseline": 34, "THR_baseline": 95.3,
+            "RTM_baseline": 358.1,
+            "SPC": 9.1, "THR": 91.5, "RTM": 363.2, "ER%": 21.9,
+            "MIS": 130.3, "KCP": 0, "KNS": 38.7,
+        },
+        ("winxp", "apache"): {
+            "SPC_baseline": 34, "THR_baseline": 92.9,
+            "RTM_baseline": 365.5,
+            "SPC": 13.7, "THR": 90.0, "RTM": 370.8, "ER%": 5.7,
+            "MIS": 85, "KCP": 1, "KNS": 103,
+        },
+        ("winxp", "abyss"): {
+            "SPC_baseline": 33, "THR_baseline": 92.0,
+            "RTM_baseline": 359.4,
+            "SPC": 8.9, "THR": 88.6, "RTM": 364.3, "ER%": 14.5,
+            "MIS": 163.3, "KCP": 0, "KNS": 59.3,
+        },
+    },
+    # Experiment scale facts quoted in the text.
+    "facts": {
+        "slot_seconds": 10,
+        "iterations": 3,
+        "faultload_generation_minutes": 5,
+        "profiling_minutes_per_server": 100,
+        "full_experiment_hours": 24,
+    },
+}

@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel.
+
+This package provides the deterministic substrate every other subsystem runs
+on: a simulated clock and event queue (:mod:`repro.sim.kernel`), seeded
+random-number streams (:mod:`repro.sim.rng`), CPU-cycle accounting used to
+turn executed OS code into simulated service time (:mod:`repro.sim.cpu`),
+and a simple network link model (:mod:`repro.sim.network`).
+
+The paper's experiments ran for roughly 24 wall-clock hours on a two-machine
+testbed; running on a simulated clock makes the same experiment repeatable
+to the bit and executable in seconds, which is exactly the *repeatability*
+property the faultload methodology is required to have.
+"""
+
+from repro.sim.errors import (
+    CpuBudgetExceeded,
+    SimBlockedForever,
+    SimSegfault,
+    SimulationError,
+)
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.cpu import CpuMeter
+from repro.sim.network import NetworkLink
+from repro.sim.rng import SeededRng, derive_seed
+
+__all__ = [
+    "CpuBudgetExceeded",
+    "CpuMeter",
+    "Event",
+    "EventQueue",
+    "NetworkLink",
+    "SeededRng",
+    "SimBlockedForever",
+    "SimSegfault",
+    "SimulationError",
+    "Simulator",
+    "derive_seed",
+]

@@ -1,0 +1,60 @@
+"""Exception hierarchy shared by the simulation and the simulated OS.
+
+The exceptions here model *machine-level* failure modes.  When a mutated OS
+function misbehaves, the failure surfaces as one of these, and the web-server
+process model decides what the failure means for the server as a whole
+(worker death, full crash, hung worker, ...).
+"""
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulation substrate."""
+
+
+class SimSegfault(SimulationError):
+    """The simulated equivalent of an access violation.
+
+    Raised when code executing inside a simulated process does something
+    that would crash a native process: dereferencing an invalid handle where
+    the API contract says the caller already validated it, corrupting heap
+    metadata, using a variable that was never initialized, and so on.
+
+    Unhandled Python exceptions escaping *mutated* OS code are converted to
+    ``SimSegfault`` by the API dispatcher, mirroring how a software fault
+    inside ``ntdll`` takes down the calling process rather than the kernel.
+    """
+
+    def __init__(self, message, cause=None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class SimBlockedForever(SimulationError):
+    """A simulated thread blocked on a resource that can never be released.
+
+    The canonical producer is ``RtlEnterCriticalSection`` finding the section
+    owned by a thread that no longer runs (for example because a mutation
+    removed the matching ``RtlLeaveCriticalSection`` call).  In a native
+    system the thread would simply hang; in the event-driven simulation we
+    cannot suspend a synchronous handler, so the condition is reported as an
+    exception and the server process model marks the worker as hung.
+    """
+
+
+class CpuBudgetExceeded(SimulationError):
+    """A single operation burned more simulated CPU than the sanity budget.
+
+    This is the simulation's backstop against runaway mutants (for example a
+    retry loop whose exit condition was mutated): the work is bounded in real
+    time, but the simulated cost may be enormous.  The process model treats
+    this as a CPU-hogging worker, the condition behind the paper's KCP
+    counter.
+    """
+
+    def __init__(self, message, cycles=0):
+        super().__init__(message)
+        self.cycles = cycles
+
+
+class SchedulingError(SimulationError):
+    """Misuse of the simulator API (scheduling in the past, re-running...)."""

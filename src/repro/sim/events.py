@@ -1,0 +1,90 @@
+"""Event queue for the discrete-event kernel.
+
+A tiny binary-heap priority queue with stable FIFO ordering for events
+scheduled at the same timestamp, plus O(1) cancellation by flagging.
+"""
+
+import heapq
+import itertools
+
+__all__ = ["Event", "EventQueue"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, sequence)`` so that two events scheduled for
+    the same instant fire in scheduling order — determinism matters more
+    than fairness here.
+    """
+
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled")
+
+    def __init__(self, time, sequence, callback, args):
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Mark the event so the kernel skips it when it is popped."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self):
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, #{self.sequence}, {name}{state})"
+
+
+class EventQueue:
+    """Binary heap of :class:`Event` objects with lazy cancellation."""
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self):
+        return self._live
+
+    def __bool__(self):
+        return self._live > 0
+
+    def push(self, time, callback, args=()):
+        """Schedule ``callback(*args)`` at ``time`` and return the event."""
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self):
+        """Remove and return the earliest live event, or None when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self):
+        """Return the timestamp of the next live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def cancel(self, event):
+        """Cancel an event previously returned by :meth:`push`."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def clear(self):
+        self._heap.clear()
+        self._live = 0

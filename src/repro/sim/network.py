@@ -1,0 +1,96 @@
+"""Network link model.
+
+The testbed in the paper is a single 100 Mbps Ethernet segment between the
+client machine and the server machine; SPECWeb99 additionally throttles each
+simultaneous connection to roughly last-mile modem speed (at most ~400 kbps)
+so that the *number of conforming connections* — not raw LAN bandwidth — is
+the headline metric.
+
+:class:`NetworkLink` models both effects: a shared link capacity and a
+per-connection cap.  Transfer time for one response is computed analytically
+from the number of concurrently active transfers, which is accurate enough
+for the benchmark's purposes and keeps the event count low.
+"""
+
+__all__ = ["NetworkLink"]
+
+
+class NetworkLink:
+    """A shared full-duplex link with a per-connection bandwidth cap.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Total link capacity in bits per second (default 100 Mbps).
+    latency:
+        One-way propagation + protocol latency in seconds.
+    per_connection_bps:
+        Per-connection throttle in bits per second, emulating the SPECWeb99
+        connection speed model.  ``None`` disables the cap.
+    """
+
+    def __init__(
+        self,
+        bandwidth_bps=100_000_000,
+        latency=0.0002,
+        per_connection_bps=400_000,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        if latency < 0:
+            raise ValueError("latency cannot be negative")
+        self.bandwidth_bps = bandwidth_bps
+        self.latency = latency
+        self.per_connection_bps = per_connection_bps
+        self._active_transfers = 0
+        self.total_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Transfer accounting
+    # ------------------------------------------------------------------
+    def begin_transfer(self):
+        """Mark one transfer as active (affects the fair-share estimate)."""
+        self._active_transfers += 1
+
+    def end_transfer(self):
+        if self._active_transfers > 0:
+            self._active_transfers -= 1
+
+    @property
+    def active_transfers(self):
+        return self._active_transfers
+
+    def effective_rate_bps(self):
+        """Bits/second one transfer gets right now.
+
+        The share of the link is ``capacity / max(1, active)``, clamped by
+        the per-connection cap.
+        """
+        share = self.bandwidth_bps / max(1, self._active_transfers)
+        if self.per_connection_bps is not None:
+            share = min(share, self.per_connection_bps)
+        return share
+
+    def transfer_time(self, nbytes):
+        """Seconds to move ``nbytes`` over the link for one connection."""
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        self.total_bytes += nbytes
+        rate = self.effective_rate_bps()
+        return self.latency + (nbytes * 8.0) / rate
+
+    def request_time(self, nbytes=420):
+        """Seconds for a (small) HTTP request to reach the server.
+
+        Requests are small enough that the per-connection throttle is what
+        matters; the default size matches a typical SPECWeb99 GET header.
+        """
+        rate = self.per_connection_bps or self.bandwidth_bps
+        return self.latency + (nbytes * 8.0) / rate
+
+    def __repr__(self):
+        return (
+            f"NetworkLink(bandwidth={self.bandwidth_bps}bps, "
+            f"latency={self.latency}s, "
+            f"per_connection={self.per_connection_bps}bps)"
+        )

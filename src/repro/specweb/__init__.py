@@ -1,0 +1,42 @@
+"""SPECWeb99-like workload: fileset, client, conformance, metrics.
+
+A faithful-in-shape port of the SPECWeb99 benchmark the paper extends:
+
+* the fileset's directory/class structure and access skew
+  (:mod:`repro.specweb.fileset`);
+* the operation mix of static GETs, dynamic GETs and POSTs
+  (:mod:`repro.specweb.workload`);
+* N simultaneous connections, each throttled to last-mile speed, driving
+  the server as fast as their bandwidth allows
+  (:mod:`repro.specweb.client`);
+* the conforming-connection rule — at least 320 kbit/s average bit rate
+  and under 1% errors (:mod:`repro.specweb.conformance`);
+* the reported measures SPC, CC%, THR, RTM and ER%
+  (:mod:`repro.specweb.metrics`) and the run rules (warmup, ramp-up,
+  three iterations — :mod:`repro.specweb.rules`).
+"""
+
+from repro.specweb.fileset import FilesetEntry, SpecWebFileset
+from repro.specweb.workload import OperationKind, WorkloadGenerator
+from repro.specweb.client import SpecWebClient
+from repro.specweb.conformance import (
+    CONFORMING_BITRATE_BPS,
+    CONFORMING_MAX_ERROR_FRACTION,
+    connection_conforms,
+)
+from repro.specweb.metrics import MetricsCollector, SpecWebMetrics
+from repro.specweb.rules import RunRules
+
+__all__ = [
+    "CONFORMING_BITRATE_BPS",
+    "CONFORMING_MAX_ERROR_FRACTION",
+    "FilesetEntry",
+    "MetricsCollector",
+    "OperationKind",
+    "RunRules",
+    "SpecWebClient",
+    "SpecWebFileset",
+    "SpecWebMetrics",
+    "WorkloadGenerator",
+    "connection_conforms",
+]

@@ -1,0 +1,49 @@
+"""Web servers — the Benchmark Targets (BTs).
+
+Four servers mirror the paper's line-up: :mod:`~repro.webservers.apache_like`
+and :mod:`~repro.webservers.abyss_like` are the two benchmarked targets;
+:mod:`~repro.webservers.sambar_like` and :mod:`~repro.webservers.savant_like`
+participate only in the profiling phase that fine-tunes the faultload.
+
+Every server is application code written against the simulated OS API
+(``ctx.api``), never against the substrate directly, so all its interaction
+with the machine flows through the fault injection target.  The injector
+structurally refuses to mutate anything under ``repro.webservers`` — the
+BT/FIT separation of the methodology.
+
+Architectural differences are implemented, not scripted: ``apache_like``
+runs a supervised multi-worker child that the master respawns after a
+crash; ``abyss_like`` is a lean low-concurrency server with no supervisor.
+How those choices translate into MIS/KNS/ER% under an injected faultload is
+exactly what the benchmark measures.
+"""
+
+from repro.webservers.http import HttpRequest, HttpResponse
+from repro.webservers.base import BaseWebServer
+from repro.webservers.runtime import ServerRuntime, WorkerState
+from repro.webservers.apache_like import ApacheLikeServer
+from repro.webservers.abyss_like import AbyssLikeServer
+from repro.webservers.sambar_like import SambarLikeServer
+from repro.webservers.savant_like import SavantLikeServer
+from repro.webservers.registry import (
+    BENCHMARKED_SERVERS,
+    PROFILING_SERVERS,
+    create_server,
+    server_names,
+)
+
+__all__ = [
+    "AbyssLikeServer",
+    "ApacheLikeServer",
+    "BENCHMARKED_SERVERS",
+    "BaseWebServer",
+    "HttpRequest",
+    "HttpResponse",
+    "PROFILING_SERVERS",
+    "SambarLikeServer",
+    "SavantLikeServer",
+    "ServerRuntime",
+    "WorkerState",
+    "create_server",
+    "server_names",
+]

@@ -1,0 +1,216 @@
+"""Abyss-like server: lean, low-concurrency, unsupervised.
+
+Mirrors the Abyss X1 personality: a small single-process server with no
+supervising master — when the process dies it stays dead until an
+administrator (in the benchmark: the watchdog) restarts it, which is the
+behaviour behind Abyss's high MIS counts in the paper.  Style traits:
+
+* **no handle cache**: every request translates the path and opens/closes
+  the file (high ``NtCreateFile``/``NtClose``/conversion traffic);
+* **per-request logging**: one ``WriteFile`` per request (the higher
+  ``WriteFile`` share in the paper's Table 2);
+* **no retries, coarse error handling**: any OS hiccup fails the request
+  with a 500 immediately;
+* explicit counted-string juggling for its header building (heavy
+  ``RtlInitUnicodeString``/``RtlUnicodeToMultiByteN`` usage).
+"""
+
+from repro.ossim.memory import PAGE_READWRITE
+from repro.ossim.status import NtStatus
+from repro.ossim.strings import AnsiString, UnicodeString
+from repro.webservers.base import BaseWebServer, ServerStartupError
+from repro.webservers.http import HttpResponse
+
+__all__ = ["AbyssLikeServer"]
+
+_OPEN_ALWAYS = 4
+_OPEN_EXISTING = 3
+_FILE_BEGIN = 0
+_FILE_END = 2
+_DYNAMIC_WRAPPER_BYTES = 128
+_ARENA_TOUCH_PERIOD = 16
+_MIME_RELOAD_PERIOD = 32
+
+
+class AbyssLikeServer(BaseWebServer):
+    """The paper's Abyss stand-in."""
+
+    name = "abyss"
+    version = "1.0"
+    worker_count = 6
+    self_restart = False
+    restart_delay = 0.5
+    backlog = 48
+    # Abyss rebuilds per-request state from scratch (no caches, immediate
+    # log writes, counted-string juggling) — a markedly higher fixed cost
+    # per request than Apache's pooled fast path.
+    app_overhead_cycles = 7_000_000
+
+    def reset_process_state(self):
+        super().reset_process_state()
+        self.access_log_handle = 0
+        self.post_log_handle = 0
+        self.mime_handle = 0
+        self.mime_size = 0
+
+    # ------------------------------------------------------------------
+    # Startup
+    # ------------------------------------------------------------------
+    def startup(self, ctx):
+        api = ctx.api
+        config = api.CreateFileW(self.config_path, "r", _OPEN_EXISTING)
+        if config == 0:
+            raise ServerStartupError(
+                f"cannot open {self.config_path} "
+                f"(error {api.GetLastError()})"
+            )
+        size = api.GetFileSize(config)
+        ok, _buffer, read = api.ReadFile(config, max(0, size))
+        api.CloseHandle(config)
+        if size < 0 or not ok or read != size:
+            raise ServerStartupError("cannot read configuration")
+        self.access_log_handle = api.CreateFileW(
+            self.access_log_path, "a", _OPEN_ALWAYS
+        )
+        if self.access_log_handle == 0:
+            raise ServerStartupError("cannot open access log")
+        self.post_log_handle = api.CreateFileW(
+            self.post_log_path, "a", _OPEN_ALWAYS
+        )
+        if self.post_log_handle == 0:
+            raise ServerStartupError("cannot open POST log")
+        self.mime_handle = api.CreateFileW(
+            f"/etc/{self.name}.mime", "r", _OPEN_ALWAYS
+        )
+        if self.mime_handle != 0:
+            self.mime_size = max(0, api.GetFileSize(self.mime_handle))
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def handle(self, ctx, request):
+        api = ctx.api
+        self.requests_served += 1
+        if self.requests_served % _ARENA_TOUCH_PERIOD == 0:
+            self._arena_touch(ctx)
+        if self.requests_served % _MIME_RELOAD_PERIOD == 0:
+            self._reload_mime_map(api)
+        if request.is_post:
+            response = self._handle_post(ctx, request)
+        elif request.dynamic:
+            response = self._handle_dynamic(ctx, request)
+        else:
+            response = self._handle_get(ctx, request)
+        self._log_access(api, request, response)
+        return response
+
+    def _handle_get(self, ctx, request):
+        api = ctx.api
+        # Header building: Abyss keeps its strings in counted form.
+        header = UnicodeString()
+        api.RtlInitUnicodeString(header, request.path)
+        status, _ansi, _written = api.RtlUnicodeToMultiByteN(
+            header, len(request.path) + 16
+        )
+        if status != NtStatus.SUCCESS:
+            return self.error_response(400, detail="bad request path")
+        dos_path = self.document_path(request.path)
+        handle = api.CreateFileW(dos_path, "r", _OPEN_EXISTING)
+        # Win32-school error handling: check GetLastError after every
+        # call, whether it failed or not — traffic only Abyss generates.
+        if api.GetLastError() != 0 or handle == 0:
+            return self.error_response(404, detail="no such document")
+        size = api.GetFileSize(handle)
+        api.GetLastError()
+        if size < 0:
+            api.CloseHandle(handle)
+            return self.error_response(500, detail="stat failed")
+        buffer_address = api.RtlAllocateHeap(min(size, 32768), 0)
+        status, buffer, read = api.NtReadFile(handle, size, 0)
+        api.GetLastError()
+        api.CloseHandle(handle)
+        if buffer_address != 0:
+            api.RtlFreeHeap(buffer_address)
+        if status != NtStatus.SUCCESS or read != size:
+            return self.error_response(500, detail="read failed")
+        return HttpResponse(
+            200,
+            content_length=size,
+            buffer=buffer,
+            server_name=f"{self.name}/{self.version}",
+        )
+
+    def _handle_dynamic(self, ctx, request):
+        api = ctx.api
+        dos_path = self.document_path(request.path)
+        status, nt_path = api.RtlDosPathNameToNtPathName_U(dos_path)
+        if status != NtStatus.SUCCESS:
+            return self.error_response(404, detail="bad dynamic path")
+        status, handle = api.NtOpenFile(nt_path, "r")
+        api.RtlFreeUnicodeString(nt_path)
+        if status != NtStatus.SUCCESS:
+            return self.error_response(404, detail="no such script")
+        size = api.GetFileSize(handle)
+        if size < 0:
+            api.CloseHandle(handle)
+            return self.error_response(500, detail="stat failed")
+        status, buffer, read = api.NtReadFile(handle, size, 0)
+        api.CloseHandle(handle)
+        if status != NtStatus.SUCCESS or read != size:
+            return self.error_response(500, detail="script read failed")
+        ctx.charge(size // 6)  # inline script expansion
+        return HttpResponse(
+            200,
+            content_length=size + _DYNAMIC_WRAPPER_BYTES,
+            buffer=buffer,
+            server_name=f"{self.name}/{self.version}",
+        )
+
+    def _handle_post(self, ctx, request):
+        api = ctx.api
+        length, _long_path = api.GetLongPathNameW(self.post_log_path)
+        if length == 0:
+            return self.error_response(500, detail="post log missing")
+        content_type = AnsiString()
+        api.RtlInitAnsiString(content_type, "application/x-www-form")
+        body = api.RtlAllocateHeap(max(64, request.body_size), 0)
+        api.RtlEnterCriticalSection("abyss.postlog")
+        try:
+            position = api.SetFilePointer(self.post_log_handle, 0, _FILE_END)
+            if position < 0:
+                return self.error_response(500, detail="post log seek")
+            ok, written = api.WriteFile(
+                self.post_log_handle, request.body_size + 48
+            )
+            if not ok or written != request.body_size + 48:
+                return self.error_response(500, detail="post log write")
+        finally:
+            api.RtlLeaveCriticalSection("abyss.postlog")
+            if body != 0:
+                api.RtlFreeHeap(body)
+        return HttpResponse(
+            200, content_length=224,
+            server_name=f"{self.name}/{self.version}",
+        )
+
+    def _log_access(self, api, request, response):
+        api.RtlEnterCriticalSection("abyss.log")
+        try:
+            api.SetFilePointer(self.access_log_handle, 0, _FILE_END)
+            api.WriteFile(self.access_log_handle, 52 + len(request.path))
+            api.GetLastError()
+        finally:
+            api.RtlLeaveCriticalSection("abyss.log")
+
+    def _reload_mime_map(self, api):
+        if self.mime_handle == 0:
+            return
+        api.SetFilePointer(self.mime_handle, 0, _FILE_BEGIN)
+        api.ReadFile(self.mime_handle, self.mime_size)
+
+    def _arena_touch(self, ctx):
+        api = ctx.api
+        base = ctx.arena.base
+        status, _info = api.NtQueryVirtualMemory(base)
+        if status == NtStatus.SUCCESS:
+            api.NtProtectVirtualMemory(base, 4096, PAGE_READWRITE)

@@ -1,0 +1,114 @@
+"""Web-server application contract.
+
+A server subclass provides two things: a **startup sequence** (open its
+configuration, create log files, initialize its locks and caches — all via
+OS API calls) and a **request handler**.  Everything about processes,
+workers, crashes and restarts is the job of
+:class:`~repro.webservers.runtime.ServerRuntime`; everything the server
+does to the machine must go through ``ctx.api`` so it is observable by the
+profiler and vulnerable to the injected faultload.
+
+Subclasses differ in *architecture* (worker count, supervision) and in
+*style* (handle caching, logging strategy, retry policies).  Those
+differences — not scripted outcomes — produce the behavioural gap the
+benchmark measures.
+"""
+
+from repro.webservers.http import HttpResponse
+
+__all__ = ["BaseWebServer", "ServerStartupError"]
+
+
+class ServerStartupError(Exception):
+    """The server's startup sequence failed (bad status from the OS)."""
+
+
+class BaseWebServer:
+    """Base class for all benchmark targets.
+
+    Class attributes (policy knobs subclasses override)
+    ---------------------------------------------------
+    name / version:
+        Identity used in reports and response headers.
+    worker_count:
+        Simultaneous request-handling threads in the (single) child
+        process.
+    self_restart:
+        Whether a supervising master respawns the child after a crash.
+    restart_delay:
+        Seconds the master needs to respawn the child.
+    max_respawn_burst:
+        Consecutive failed respawns after which the master gives up
+        (the server is then dead until an administrator restarts it —
+        the paper's MIS condition).
+    crash_burst_limit / crash_burst_window:
+        A supervised master also gives up when the child keeps dying:
+        ``crash_burst_limit`` crashes within ``crash_burst_window``
+        seconds stop the respawn loop (Apache's behaviour when its child
+        enters a crash loop).
+    backlog:
+        Pending-request queue capacity; overflow is refused (errors).
+    app_overhead_cycles:
+        Application-level CPU per request (parsing, response building)
+        charged on top of whatever the OS calls cost.
+    """
+
+    name = "base"
+    version = "0.0"
+    worker_count = 1
+    self_restart = False
+    restart_delay = 0.5
+    max_respawn_burst = 3
+    crash_burst_limit = 3
+    crash_burst_window = 4.0
+    backlog = 64
+    app_overhead_cycles = 120_000
+
+    doc_root = "/site"
+
+    def __init__(self):
+        self.config_path = f"/etc/{self.name}.conf"
+        self.access_log_path = f"/logs/{self.name}_access.log"
+        self.post_log_path = f"/logs/{self.name}_post.log"
+        self.reset_process_state()
+
+    # ------------------------------------------------------------------
+    # Lifecycle (overridden by subclasses)
+    # ------------------------------------------------------------------
+    def reset_process_state(self):
+        """Forget all per-process state (called on every child spawn)."""
+        self.requests_served = 0
+
+    def startup(self, ctx):
+        """Run the child's startup sequence.
+
+        Raise :class:`ServerStartupError` when the OS refuses something
+        essential (missing configuration, unwritable log).
+        """
+        raise NotImplementedError
+
+    def handle(self, ctx, request):
+        """Serve one request; returns an :class:`HttpResponse`."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers shared by concrete servers
+    # ------------------------------------------------------------------
+    def error_response(self, status_code, detail=""):
+        return HttpResponse.error(
+            status_code, server_name=f"{self.name}/{self.version}",
+            detail=detail,
+        )
+
+    def document_path(self, request_path):
+        """Map a URL path onto the document root (DOS-path flavoured)."""
+        if not request_path.startswith("/"):
+            request_path = "/" + request_path
+        return self.doc_root + request_path
+
+    def __repr__(self):
+        return (
+            f"<{type(self).__name__} {self.name}/{self.version} "
+            f"workers={self.worker_count} "
+            f"self_restart={self.self_restart}>"
+        )

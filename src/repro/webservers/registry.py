@@ -1,0 +1,42 @@
+"""Server registry.
+
+``BENCHMARKED_SERVERS`` are the two targets the dependability benchmark
+compares (the paper's Apache and Abyss); ``PROFILING_SERVERS`` are all four
+servers used in the faultload fine-tuning phase.
+"""
+
+from repro.webservers.abyss_like import AbyssLikeServer
+from repro.webservers.apache_like import ApacheLikeServer
+from repro.webservers.sambar_like import SambarLikeServer
+from repro.webservers.savant_like import SavantLikeServer
+
+__all__ = [
+    "BENCHMARKED_SERVERS",
+    "PROFILING_SERVERS",
+    "create_server",
+    "server_names",
+]
+
+_SERVER_CLASSES = {
+    "apache": ApacheLikeServer,
+    "abyss": AbyssLikeServer,
+    "sambar": SambarLikeServer,
+    "savant": SavantLikeServer,
+}
+
+BENCHMARKED_SERVERS = ("apache", "abyss")
+PROFILING_SERVERS = ("apache", "abyss", "sambar", "savant")
+
+
+def server_names():
+    """All known server names."""
+    return sorted(_SERVER_CLASSES)
+
+
+def create_server(name):
+    """Instantiate a fresh server by name."""
+    cls = _SERVER_CLASSES.get(name)
+    if cls is None:
+        known = ", ".join(server_names())
+        raise KeyError(f"unknown server {name!r} (known: {known})")
+    return cls()

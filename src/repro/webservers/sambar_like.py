@@ -1,0 +1,172 @@
+"""Sambar-like server (profiling only).
+
+The paper uses Sambar and Savant alongside Apache and Abyss purely to
+fine-tune the faultload: only API functions *all four* servers exercise are
+eligible for injection.  This implementation therefore matters for its OS
+call mix, not its robustness: a mid-weight threaded server with a
+size-metadata cache (it re-opens files but skips re-stating them) and
+ANSI-flavoured string handling.
+"""
+
+from repro.ossim.memory import PAGE_READWRITE
+from repro.ossim.status import NtStatus
+from repro.ossim.strings import AnsiString, UnicodeString
+from repro.webservers.base import BaseWebServer, ServerStartupError
+from repro.webservers.http import HttpResponse
+
+__all__ = ["SambarLikeServer"]
+
+_OPEN_ALWAYS = 4
+_OPEN_EXISTING = 3
+_FILE_END = 2
+_DYNAMIC_WRAPPER_BYTES = 128
+_ARENA_TOUCH_PERIOD = 24
+
+
+class SambarLikeServer(BaseWebServer):
+    """The paper's Sambar stand-in (fine-tuning participant)."""
+
+    name = "sambar"
+    version = "5.1"
+    worker_count = 4
+    self_restart = False
+    backlog = 64
+    app_overhead_cycles = 165_000
+
+    def reset_process_state(self):
+        super().reset_process_state()
+        self.access_log_handle = 0
+        self.post_log_handle = 0
+        self.size_cache = {}
+
+    def startup(self, ctx):
+        api = ctx.api
+        config = api.CreateFileW(self.config_path, "r", _OPEN_EXISTING)
+        if config == 0:
+            raise ServerStartupError("cannot open configuration")
+        size = api.GetFileSize(config)
+        ok, _buffer, read = api.ReadFile(config, max(0, size))
+        api.CloseHandle(config)
+        if size < 0 or not ok or read != size:
+            raise ServerStartupError("cannot read configuration")
+        self.access_log_handle = api.CreateFileW(
+            self.access_log_path, "a", _OPEN_ALWAYS
+        )
+        self.post_log_handle = api.CreateFileW(
+            self.post_log_path, "a", _OPEN_ALWAYS
+        )
+        if self.access_log_handle == 0 or self.post_log_handle == 0:
+            raise ServerStartupError("cannot open log files")
+
+    def handle(self, ctx, request):
+        api = ctx.api
+        self.requests_served += 1
+        if self.requests_served % _ARENA_TOUCH_PERIOD == 0:
+            self._arena_touch(ctx)
+        if request.is_post:
+            response = self._handle_post(ctx, request)
+        else:
+            response = self._handle_get(ctx, request)
+        api.RtlEnterCriticalSection("sambar.log")
+        try:
+            api.SetFilePointer(self.access_log_handle, 0, _FILE_END)
+            api.WriteFile(self.access_log_handle, 64 + len(request.path))
+        finally:
+            api.RtlLeaveCriticalSection("sambar.log")
+        return response
+
+    def _handle_get(self, ctx, request):
+        api = ctx.api
+        # ANSI-flavoured request bookkeeping.
+        raw = AnsiString()
+        api.RtlInitAnsiString(raw, request.path)
+        status, _wide, _chars = api.RtlMultiByteToUnicodeN(
+            raw, len(request.path) + 8
+        )
+        if status != NtStatus.SUCCESS:
+            return self.error_response(400, detail="bad path")
+        dos_path = self.document_path(request.path)
+        if request.dynamic:
+            return self._handle_dynamic(ctx, dos_path, request)
+        handle = api.CreateFileW(dos_path, "r", _OPEN_EXISTING)
+        if handle == 0:
+            api.GetLastError()
+            return self.error_response(404, detail="no such document")
+        api.GetLastError()
+        size = self.size_cache.get(request.path, -1)
+        if size < 0:
+            size = api.GetFileSize(handle)
+            if size < 0:
+                api.CloseHandle(handle)
+                return self.error_response(500, detail="stat failed")
+            self.size_cache[request.path] = size
+        scratch = api.RtlAllocateHeap(min(size, 16384), 0)
+        status, buffer, read = api.NtReadFile(handle, size, 0)
+        api.CloseHandle(handle)
+        if scratch != 0:
+            api.RtlFreeHeap(scratch)
+        if status != NtStatus.SUCCESS or read != size:
+            self.size_cache.pop(request.path, None)
+            return self.error_response(500, detail="read failed")
+        return HttpResponse(
+            200, content_length=size, buffer=buffer,
+            server_name=f"{self.name}/{self.version}",
+        )
+
+    def _handle_dynamic(self, ctx, dos_path, request):
+        api = ctx.api
+        status, nt_path = api.RtlDosPathNameToNtPathName_U(dos_path)
+        if status != NtStatus.SUCCESS:
+            return self.error_response(404, detail="bad dynamic path")
+        status, handle = api.NtOpenFile(nt_path, "r")
+        api.RtlFreeUnicodeString(nt_path)
+        if status != NtStatus.SUCCESS:
+            return self.error_response(404, detail="no such script")
+        status, info = api.NtQueryInformationFile(handle)
+        if status != NtStatus.SUCCESS:
+            api.NtClose(handle)
+            return self.error_response(500, detail="stat failed")
+        size = info["size"]
+        status, buffer, read = api.NtReadFile(handle, size, 0)
+        api.NtClose(handle)
+        if status != NtStatus.SUCCESS or read != size:
+            return self.error_response(500, detail="script read failed")
+        ctx.charge(size // 6)
+        return HttpResponse(
+            200, content_length=size + _DYNAMIC_WRAPPER_BYTES,
+            buffer=buffer,
+            server_name=f"{self.name}/{self.version}",
+        )
+
+    def _handle_post(self, ctx, request):
+        api = ctx.api
+        length, _long_path = api.GetLongPathNameW(self.post_log_path)
+        if length == 0:
+            return self.error_response(500, detail="post log missing")
+        header = UnicodeString()
+        api.RtlInitUnicodeString(header, request.path)
+        api.RtlUnicodeToMultiByteN(header, len(request.path) + 8)
+        body = api.RtlAllocateHeap(max(64, request.body_size), 0)
+        api.RtlEnterCriticalSection("sambar.postlog")
+        try:
+            api.SetFilePointer(self.post_log_handle, 0, _FILE_END)
+            ok, written = api.WriteFile(
+                self.post_log_handle, request.body_size + 56
+            )
+            if not ok or written != request.body_size + 56:
+                return self.error_response(500, detail="post log write")
+        finally:
+            api.RtlLeaveCriticalSection("sambar.postlog")
+            if body != 0:
+                api.RtlFreeHeap(body)
+        return HttpResponse(
+            200, content_length=240,
+            server_name=f"{self.name}/{self.version}",
+        )
+
+    def _arena_touch(self, ctx):
+        api = ctx.api
+        base = ctx.arena.base
+        status, _info = api.NtQueryVirtualMemory(base)
+        if status == NtStatus.SUCCESS:
+            api.NtProtectVirtualMemory(base + 4096, 4096, PAGE_READWRITE)

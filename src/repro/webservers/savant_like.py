@@ -1,0 +1,143 @@
+"""Savant-like server (profiling only).
+
+The smallest of the four: nearly sequential, canonicalizes every path with
+``GetLongPathNameW`` before opening it, throttles itself with
+``NtDelayExecution``, and keeps its strings in ANSI form.  Like Sambar, it
+exists to make the cross-target intersection of the fine-tuning phase
+meaningful.
+"""
+
+from repro.ossim.memory import PAGE_READWRITE
+from repro.ossim.status import NtStatus
+from repro.ossim.strings import AnsiString, UnicodeString
+from repro.webservers.base import BaseWebServer, ServerStartupError
+from repro.webservers.http import HttpResponse
+
+__all__ = ["SavantLikeServer"]
+
+_OPEN_ALWAYS = 4
+_OPEN_EXISTING = 3
+_FILE_END = 2
+_DYNAMIC_WRAPPER_BYTES = 128
+_ARENA_TOUCH_PERIOD = 40
+
+
+class SavantLikeServer(BaseWebServer):
+    """The paper's Savant stand-in (fine-tuning participant)."""
+
+    name = "savant"
+    version = "3.1"
+    worker_count = 2
+    self_restart = False
+    backlog = 32
+    app_overhead_cycles = 200_000
+
+    def reset_process_state(self):
+        super().reset_process_state()
+        self.access_log_handle = 0
+        self.post_log_handle = 0
+
+    def startup(self, ctx):
+        api = ctx.api
+        config = api.CreateFileW(self.config_path, "r", _OPEN_EXISTING)
+        if config == 0:
+            raise ServerStartupError("cannot open configuration")
+        size = api.GetFileSize(config)
+        ok, _buffer, read = api.ReadFile(config, max(0, size))
+        api.CloseHandle(config)
+        if size < 0 or not ok or read != size:
+            raise ServerStartupError("cannot read configuration")
+        self.access_log_handle = api.CreateFileW(
+            self.access_log_path, "a", _OPEN_ALWAYS
+        )
+        self.post_log_handle = api.CreateFileW(
+            self.post_log_path, "a", _OPEN_ALWAYS
+        )
+        if self.access_log_handle == 0 or self.post_log_handle == 0:
+            raise ServerStartupError("cannot open log files")
+
+    def handle(self, ctx, request):
+        api = ctx.api
+        self.requests_served += 1
+        api.NtQuerySystemTime()  # request clock for its statistics page
+        api.NtDelayExecution(40)  # politeness throttle
+        if self.requests_served % _ARENA_TOUCH_PERIOD == 0:
+            base = ctx.arena.base
+            status, _info = api.NtQueryVirtualMemory(base)
+            if status == NtStatus.SUCCESS:
+                api.NtProtectVirtualMemory(base, 4096, PAGE_READWRITE)
+        if request.is_post:
+            response = self._handle_post(ctx, request)
+        else:
+            response = self._handle_get(ctx, request)
+        api.RtlEnterCriticalSection("savant.log")
+        try:
+            api.NtQuerySystemTime()  # log timestamp
+            api.SetFilePointer(self.access_log_handle, 0, _FILE_END)
+            api.WriteFile(self.access_log_handle, 48 + len(request.path))
+        finally:
+            api.RtlLeaveCriticalSection("savant.log")
+        return response
+
+    def _handle_get(self, ctx, request):
+        api = ctx.api
+        name = AnsiString()
+        api.RtlInitAnsiString(name, request.path)
+        dos_path = self.document_path(request.path)
+        length, long_path = api.GetLongPathNameW(dos_path)
+        if length == 0:
+            return self.error_response(404, detail="no such document")
+        if request.dynamic:
+            status, nt_path = api.RtlDosPathNameToNtPathName_U(long_path)
+            if status != NtStatus.SUCCESS:
+                return self.error_response(404, detail="bad dynamic path")
+            status, handle = api.NtOpenFile(nt_path, "r")
+            api.RtlFreeUnicodeString(nt_path)
+        else:
+            handle = api.CreateFileW(long_path, "r", _OPEN_EXISTING)
+            status = (NtStatus.SUCCESS if handle != 0
+                      else NtStatus.OBJECT_NAME_NOT_FOUND)
+        if status != NtStatus.SUCCESS or handle == 0:
+            return self.error_response(404, detail="open failed")
+        size = api.GetFileSize(handle)
+        if size < 0:
+            api.CloseHandle(handle)
+            return self.error_response(500, detail="stat failed")
+        scratch = api.RtlAllocateHeap(4096, 0)
+        status, buffer, read = api.NtReadFile(handle, size, 0)
+        api.CloseHandle(handle)
+        if scratch != 0:
+            api.RtlFreeHeap(scratch)
+        if status != NtStatus.SUCCESS or read != size:
+            return self.error_response(500, detail="read failed")
+        length_out = size
+        if request.dynamic:
+            ctx.charge(size // 5)
+            length_out = size + _DYNAMIC_WRAPPER_BYTES
+        return HttpResponse(
+            200, content_length=length_out, buffer=buffer,
+            server_name=f"{self.name}/{self.version}",
+        )
+
+    def _handle_post(self, ctx, request):
+        api = ctx.api
+        length, _long_path = api.GetLongPathNameW(self.post_log_path)
+        if length == 0:
+            return self.error_response(500, detail="post log missing")
+        header = UnicodeString()
+        api.RtlInitUnicodeString(header, request.path)
+        api.RtlUnicodeToMultiByteN(header, len(request.path) + 4)
+        api.RtlEnterCriticalSection("savant.postlog")
+        try:
+            api.SetFilePointer(self.post_log_handle, 0, _FILE_END)
+            ok, written = api.WriteFile(
+                self.post_log_handle, request.body_size + 40
+            )
+            if not ok or written != request.body_size + 40:
+                return self.error_response(500, detail="post log write")
+        finally:
+            api.RtlLeaveCriticalSection("savant.postlog")
+        return HttpResponse(
+            200, content_length=200,
+            server_name=f"{self.name}/{self.version}",
+        )

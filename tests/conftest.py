@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.ossim.builds import NT50, NT51
+from repro.ossim.context import SimKernel
+from repro.ossim.dispatch import OsInstance
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+@pytest.fixture(params=["nt50", "nt51"], ids=["nt50", "nt51"])
+def build(request):
+    """Parametrized over both OS builds."""
+    return NT50 if request.param == "nt50" else NT51
+
+
+@pytest.fixture
+def os_instance(build):
+    kernel = SimKernel()
+    return OsInstance(build, kernel)
+
+
+@pytest.fixture
+def ctx(os_instance):
+    """A process on a kernel with a small document tree."""
+    vfs = os_instance.kernel.vfs
+    vfs.mkdir("/site/dir0", parents=True)
+    vfs.create_file("/site/dir0/index.html", size=4096)
+    vfs.create_file("/site/dir0/small.txt", size=100)
+    vfs.mkdir("/logs", parents=True)
+    return os_instance.new_process(name="test")
+
+
+@pytest.fixture
+def smoke_config():
+    return ExperimentConfig.smoke()
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration scenario"
+    )

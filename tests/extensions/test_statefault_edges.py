@@ -1,0 +1,96 @@
+"""Edge cases for the state-fault injector and campaign."""
+
+import pytest
+
+from repro.extensions.experiment import ExtendedFaultCampaign
+from repro.extensions.statefaults import (
+    ConfigFileRemoval,
+    DiskReadErrorBurst,
+    LogVolumeFull,
+    StateFault,
+    StateFaultInjector,
+)
+from repro.harness.config import ExperimentConfig
+from repro.harness.machine import ServerMachine
+
+
+@pytest.fixture
+def machine():
+    machine = ServerMachine(ExperimentConfig.smoke())
+    assert machine.boot()
+    return machine
+
+
+def test_restore_without_inject_is_noop(machine):
+    injector = StateFaultInjector(machine)
+    injector.restore(LogVolumeFull())  # never injected: fine
+    assert machine.kernel.vfs.capacity_bytes > 0
+
+
+def test_base_fault_requires_overrides(machine):
+    fault = StateFault()
+    with pytest.raises(NotImplementedError):
+        fault.apply(machine)
+    with pytest.raises(NotImplementedError):
+        fault.revert(machine, None)
+
+
+def test_fault_ids_are_classed():
+    assert ConfigFileRemoval().fault_id == (
+        "operator:config-file-removal"
+    )
+    assert DiskReadErrorBurst().fault_id == (
+        "hardware:disk-read-error-burst"
+    )
+
+
+def test_config_removal_on_missing_file_is_harmless(machine):
+    machine.kernel.vfs.delete("/etc/apache.conf")
+    injector = StateFaultInjector(machine)
+    fault = ConfigFileRemoval()
+    injector.inject(fault)      # nothing to remove
+    injector.restore(fault)     # nothing to restore
+    assert machine.kernel.vfs.lookup("/etc/apache.conf") is None
+
+
+def test_same_fault_type_cannot_nest(machine):
+    """Two instances of one fault type share a fault id: the injector
+    refuses to stack them (reverting would be ambiguous)."""
+    injector = StateFaultInjector(machine)
+    injector.inject(DiskReadErrorBurst(period=5))
+    with pytest.raises(ValueError):
+        injector.inject(DiskReadErrorBurst(period=3))
+    injector.restore(DiskReadErrorBurst())
+    assert machine.kernel.vfs.read_fault_period == 0
+
+
+def test_different_fault_types_nest_and_revert(machine):
+    injector = StateFaultInjector(machine)
+    vfs = machine.kernel.vfs
+    capacity = vfs.capacity_bytes
+    injector.inject(DiskReadErrorBurst(period=5))
+    injector.inject(LogVolumeFull())
+    assert vfs.read_fault_period == 5
+    assert vfs.capacity_bytes == vfs.used_bytes
+    injector.restore_all()
+    assert vfs.read_fault_period == 0
+    assert vfs.capacity_bytes == capacity
+
+
+def test_campaign_with_single_class():
+    config = ExperimentConfig.smoke()
+    campaign = ExtendedFaultCampaign(
+        config, faults=[LogVolumeFull(), DiskReadErrorBurst()]
+    )
+    results = campaign.run()
+    assert set(results) == {"operator", "hardware"}
+    assert results["operator"].faults_injected == 1
+
+
+def test_injection_count_tracked(machine):
+    injector = StateFaultInjector(machine)
+    with injector.injected(LogVolumeFull()):
+        pass
+    with injector.injected(DiskReadErrorBurst()):
+        pass
+    assert injector.injection_count == 2

@@ -1,0 +1,85 @@
+"""Tests for the fault-type model and field data (paper Table 1)."""
+
+import pytest
+
+from repro.faults.fielddata import (
+    FIELD_COVERAGE,
+    coverage_by_nature,
+    coverage_by_odc_type,
+    total_field_coverage,
+)
+from repro.faults.types import (
+    ConstructNature,
+    FaultType,
+    ODCType,
+    fault_type_info,
+    iter_fault_types,
+)
+from repro.reporting.paper import PAPER
+
+
+def test_exactly_twelve_types_in_table_order():
+    types = iter_fault_types()
+    assert len(types) == 12
+    assert [ft.value for ft in types] == [
+        "MVI", "MVAV", "MVAE", "MIA", "MLAC", "MFC",
+        "MIFS", "MLPC", "WVAV", "WLEC", "WAEP", "WPFV",
+    ]
+
+
+def test_every_type_has_info():
+    for fault_type in iter_fault_types():
+        info = fault_type_info(fault_type)
+        assert info.description
+        assert info.field_coverage_percent > 0
+
+
+def test_info_accepts_string_names():
+    assert fault_type_info("MIA").fault_type is FaultType.MIA
+
+
+def test_field_coverage_matches_paper_table1():
+    for name, expected in PAPER["table1"].items():
+        if name == "total":
+            continue
+        assert FIELD_COVERAGE[FaultType(name)] == pytest.approx(expected)
+
+
+def test_total_coverage_is_papers_50_69():
+    assert total_field_coverage() == pytest.approx(
+        PAPER["table1"]["total"], abs=0.01
+    )
+
+
+def test_no_extraneous_construct_types():
+    """The paper excludes extraneous-construct faults as too rare."""
+    natures = coverage_by_nature()
+    assert natures[ConstructNature.EXTRANEOUS] == 0.0
+    assert natures[ConstructNature.MISSING] > natures[
+        ConstructNature.WRONG
+    ]
+
+
+def test_odc_classification_matches_paper():
+    expected = {
+        FaultType.MVI: ODCType.ASSIGNMENT,
+        FaultType.MVAV: ODCType.ASSIGNMENT,
+        FaultType.MVAE: ODCType.ASSIGNMENT,
+        FaultType.MIA: ODCType.CHECKING,
+        FaultType.MLAC: ODCType.CHECKING,
+        FaultType.MFC: ODCType.ALGORITHM,
+        FaultType.MIFS: ODCType.ALGORITHM,
+        FaultType.MLPC: ODCType.ALGORITHM,
+        FaultType.WVAV: ODCType.ASSIGNMENT,
+        FaultType.WLEC: ODCType.CHECKING,
+        FaultType.WAEP: ODCType.INTERFACE,
+        FaultType.WPFV: ODCType.INTERFACE,
+    }
+    for fault_type, odc in expected.items():
+        assert fault_type_info(fault_type).odc_type is odc
+
+
+def test_four_odc_types_covered():
+    by_odc = coverage_by_odc_type()
+    assert len(by_odc) == 4
+    assert sum(by_odc.values()) == pytest.approx(total_field_coverage())

@@ -1,0 +1,138 @@
+"""Tests for fault locations and the faultload container."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.faultload import Faultload
+from repro.faults.location import FaultLocation
+from repro.faults.types import FaultType, iter_fault_types
+
+
+def make_location(index, fault_type=FaultType.MIA, function="NtReadFile"):
+    return FaultLocation(
+        module="repro.ossim.modules.ntdll50",
+        display_module="Ntdll",
+        function=function,
+        fault_type=fault_type,
+        site_key=str(index),
+        lineno=index,
+        description=f"site {index}",
+    )
+
+
+@pytest.fixture
+def faultload():
+    locations = []
+    for index, fault_type in enumerate(iter_fault_types()):
+        for copy in range(index + 1):  # 1 MVI, 2 MVAV, ... 12 WPFV
+            locations.append(make_location(
+                index * 100 + copy, fault_type,
+                function=f"Func{copy % 3}",
+            ))
+    return Faultload("nt50", locations, name="test")
+
+
+def test_location_roundtrip():
+    location = make_location(7, FaultType.WVAV)
+    assert FaultLocation.from_dict(location.to_dict()) == location
+
+
+def test_location_fault_id_unique_per_site():
+    a = make_location(1)
+    b = make_location(2)
+    assert a.fault_id != b.fault_id
+
+
+def test_counts_by_type(faultload):
+    counts = faultload.counts_by_type()
+    assert counts[FaultType.MVI] == 1
+    assert counts[FaultType.WPFV] == 12
+    assert sum(counts.values()) == len(faultload)
+
+
+def test_counts_by_function(faultload):
+    counts = faultload.counts_by_function()
+    assert sum(counts.values()) == len(faultload)
+    assert all(module == "Ntdll" for module, _f in counts)
+
+
+def test_restrict_to_functions(faultload):
+    restricted = faultload.restrict_to_functions(["Func0"])
+    assert len(restricted) > 0
+    assert all(loc.function == "Func0" for loc in restricted)
+    assert restricted.os_codename == "nt50"
+
+
+def test_restrict_to_types(faultload):
+    restricted = faultload.restrict_to_types(["MIA", FaultType.MVI])
+    kinds = {loc.fault_type for loc in restricted}
+    assert kinds == {FaultType.MIA, FaultType.MVI}
+
+
+def test_sample_is_deterministic(faultload):
+    a = faultload.sample(20, seed=5)
+    b = faultload.sample(20, seed=5)
+    assert [l.fault_id for l in a] == [l.fault_id for l in b]
+    c = faultload.sample(20, seed=6)
+    assert [l.fault_id for l in a] != [l.fault_id for l in c]
+
+
+def test_sample_preserves_type_presence(faultload):
+    """Stratified sampling keeps every fault type represented."""
+    sampled = faultload.sample(24, seed=1)
+    present = {loc.fault_type for loc in sampled}
+    assert present == set(
+        ft for ft in iter_fault_types()
+        if faultload.counts_by_type()[ft] > 0
+    )
+
+
+def test_sample_larger_than_population_is_identity(faultload):
+    sampled = faultload.sample(10_000)
+    assert len(sampled) == len(faultload)
+
+
+def test_sample_keeps_scan_order(faultload):
+    sampled = faultload.sample(30, seed=2)
+    ids = [loc.fault_id for loc in faultload]
+    positions = [ids.index(loc.fault_id) for loc in sampled]
+    assert positions == sorted(positions)
+
+
+def test_interleave_types_alternates(faultload):
+    interleaved = faultload.interleave_types()
+    assert len(interleaved) == len(faultload)
+    first_types = [loc.fault_type for loc in interleaved[:12]]
+    assert len(set(first_types)) == 12  # one of each in the first round
+
+
+def test_json_roundtrip(faultload):
+    restored = Faultload.from_json(faultload.to_json())
+    assert restored.os_codename == faultload.os_codename
+    assert [l.fault_id for l in restored] == [
+        l.fault_id for l in faultload
+    ]
+
+
+def test_save_load(tmp_path, faultload):
+    path = tmp_path / "fl.json"
+    faultload.save(path)
+    restored = Faultload.load(path)
+    assert len(restored) == len(faultload)
+
+
+def test_indexing_and_iteration(faultload):
+    assert faultload[0].fault_type == FaultType.MVI
+    assert list(iter(faultload))[0] is faultload[0]
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=1, max_value=80), st.integers(0, 100))
+def test_property_sample_size_bounds(count, seed):
+    locations = [make_location(i, FaultType.MIA) for i in range(60)]
+    faultload = Faultload("nt50", locations)
+    sampled = faultload.sample(count, seed=seed)
+    assert len(sampled) <= min(count, 60)
+    assert len(sampled) >= min(count, 1)
+    ids = {loc.fault_id for loc in sampled}
+    assert len(ids) == len(sampled)  # no duplicates

@@ -1,0 +1,160 @@
+"""Tests for runtime injection (step 2): swap, restore, boundaries."""
+
+import pytest
+
+from repro.faults.location import FaultLocation
+from repro.faults.types import FaultType
+from repro.gswfit.injector import FaultInjector, FitBoundaryError
+from repro.gswfit.scanner import scan_build, scan_function
+from repro.ossim.builds import NT50
+from repro.ossim.context import SimKernel
+from repro.ossim.dispatch import OsInstance
+from repro.ossim.modules import ntdll50
+
+
+@pytest.fixture
+def injector():
+    injector = FaultInjector()
+    yield injector
+    injector.restore_all()
+
+
+def _mia_location(function=ntdll50.RtlSizeHeap):
+    locations = scan_function(function, display_module="Ntdll")
+    return next(
+        loc for loc in locations if loc.fault_type is FaultType.MIA
+    )
+
+
+def test_inject_changes_live_behavior(injector):
+    location = _mia_location()
+    # Pristine: RtlSizeHeap(0) == -1 via the 'address == 0' guard.
+    ctx = SimKernel().new_process()
+    assert ntdll50.RtlSizeHeap(ctx, 0) == -1
+    injector.inject(location)
+    # MIA makes the guard body unconditional: always -1 — including for a
+    # real block.
+    address = ctx.heap.allocate(64)
+    assert ntdll50.RtlSizeHeap(ctx, address) == -1
+    injector.restore(location)
+    assert ntdll50.RtlSizeHeap(ctx, address) >= 64
+
+
+def test_restore_all_is_idempotent(injector):
+    location = _mia_location()
+    original = ntdll50.RtlSizeHeap.__code__
+    injector.inject(location)
+    injector.restore_all()
+    injector.restore_all()
+    assert ntdll50.RtlSizeHeap.__code__ is original
+
+
+def test_restore_unknown_location_is_noop(injector):
+    location = _mia_location()
+    injector.restore(location)  # never injected
+
+
+def test_double_inject_same_fault_rejected(injector):
+    location = _mia_location()
+    injector.inject(location)
+    with pytest.raises(ValueError):
+        injector.inject(location)
+
+
+def test_two_faults_in_different_functions(injector):
+    loc_a = _mia_location(ntdll50.RtlSizeHeap)
+    loc_b = _mia_location(ntdll50.NtClose)
+    originals = (ntdll50.RtlSizeHeap.__code__, ntdll50.NtClose.__code__)
+    injector.inject(loc_a)
+    injector.inject(loc_b)
+    assert len(injector.active_locations) == 2
+    injector.restore(loc_a)
+    assert ntdll50.RtlSizeHeap.__code__ is originals[0]
+    assert ntdll50.NtClose.__code__ is not originals[1]
+    injector.restore(loc_b)
+    assert ntdll50.NtClose.__code__ is originals[1]
+
+
+def test_context_manager_restores_on_exception(injector):
+    location = _mia_location()
+    original = ntdll50.RtlSizeHeap.__code__
+    with pytest.raises(RuntimeError):
+        with injector.injected(location):
+            assert ntdll50.RtlSizeHeap.__code__ is not original
+            raise RuntimeError("boom")
+    assert ntdll50.RtlSizeHeap.__code__ is original
+
+
+def test_fit_boundary_protects_benchmark_target(injector):
+    """The core BT/FIT separation: server code must be untouchable."""
+    location = FaultLocation(
+        module="repro.webservers.apache_like",
+        display_module="Apache",
+        function="ApacheLikeServer",
+        fault_type=FaultType.MIA,
+        site_key="1",
+    )
+    with pytest.raises(FitBoundaryError):
+        injector.inject(location)
+
+
+def test_fit_boundary_rejects_prefix_lookalikes(injector):
+    location = FaultLocation(
+        module="repro.ossim.modulesX.evil",
+        display_module="X",
+        function="f",
+        fault_type=FaultType.MIA,
+        site_key="1",
+    )
+    with pytest.raises(FitBoundaryError):
+        injector.inject(location)
+
+
+def test_profile_mode_never_swaps_code(injector):
+    profile = FaultInjector(profile_mode=True)
+    location = _mia_location()
+    original = ntdll50.RtlSizeHeap.__code__
+    profile.inject(location)
+    assert ntdll50.RtlSizeHeap.__code__ is original
+    assert profile.injection_count == 1
+    assert profile.active_locations == []
+    profile.restore(location)
+
+
+def test_fault_mode_flag_tracks_active_faults(injector):
+    os_instance = OsInstance(NT50, SimKernel())
+    injector.os_instances = [os_instance]
+    location = _mia_location()
+    assert not os_instance.fault_mode
+    injector.inject(location)
+    assert os_instance.fault_mode
+    injector.restore(location)
+    assert not os_instance.fault_mode
+
+
+def test_restored_behavior_identical_across_whole_faultload():
+    """Inject+restore every scanned fault; OS behavior must be pristine.
+
+    This is the repeatability backbone: a faultload pass must leave no
+    residue in the code (state residue lives in processes, which restart).
+    """
+    injector = FaultInjector()
+    faultload = scan_build(NT50).sample(60, seed=3)
+
+    def probe():
+        kernel = SimKernel()
+        kernel.vfs.mkdir("/d", parents=True)
+        kernel.vfs.create_file("/d/f", size=300)
+        osi = OsInstance(NT50, kernel)
+        ctx = osi.new_process()
+        handle = ctx.api.CreateFileW("/d/f", "r", 3)
+        ok, buffer, count = ctx.api.ReadFile(handle, 300)
+        ctx.api.CloseHandle(handle)
+        return (handle != 0, ok, count,
+                buffer.fingerprint if buffer else 0)
+
+    reference = probe()
+    for location in faultload:
+        with injector.injected(location):
+            pass
+        assert probe() == reference, f"residue after {location.fault_id}"

@@ -1,0 +1,95 @@
+"""Tests for the interception (ablation baseline) injector."""
+
+import pytest
+
+from repro.gswfit.injector import FitBoundaryError
+from repro.gswfit.interception import (
+    InterceptionFault,
+    InterceptionInjector,
+)
+from repro.ossim.builds import NT50
+from repro.ossim.context import SimKernel
+from repro.ossim.dispatch import OsInstance
+from repro.ossim.modules import ntdll50
+from repro.sim.errors import SimSegfault
+
+
+@pytest.fixture
+def injector():
+    injector = InterceptionInjector()
+    yield injector
+    injector.restore_all()
+
+
+def _ctx():
+    kernel = SimKernel()
+    kernel.vfs.mkdir("/d", parents=True)
+    kernel.vfs.create_file("/d/f", size=100)
+    return OsInstance(NT50, kernel).new_process()
+
+
+def test_error_mode_returns_contract_shaped_error(injector):
+    fault = InterceptionFault(
+        "repro.ossim.modules.ntdll50", "RtlAllocateHeap", mode="error"
+    )
+    ctx = _ctx()
+    with injector.injected(fault):
+        assert ctx.api.RtlAllocateHeap(64, 0) == 0
+    assert ctx.api.RtlAllocateHeap(64, 0) != 0
+
+
+def test_error_mode_tuple_contract(injector):
+    fault = InterceptionFault(
+        "repro.ossim.modules.ntdll50", "NtReadFile", mode="error"
+    )
+    ctx = _ctx()
+    handle = ctx.api.CreateFileW("/d/f", "r", 3)
+    with injector.injected(fault):
+        status, buffer, count = ctx.api.NtReadFile(handle, 10)
+        assert status.is_error()
+        assert buffer is None and count == 0
+
+
+def test_exception_mode_segfaults(injector):
+    fault = InterceptionFault(
+        "repro.ossim.modules.ntdll50", "NtClose", mode="exception"
+    )
+    ctx = _ctx()
+    with injector.injected(fault):
+        with pytest.raises(SimSegfault):
+            ctx.api.NtClose(4)
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        InterceptionFault("m", "f", mode="weird")
+
+
+def test_boundary_enforced(injector):
+    fault = InterceptionFault(
+        "repro.webservers.apache_like", "ApacheLikeServer"
+    )
+    with pytest.raises(FitBoundaryError):
+        injector.inject(fault)
+
+
+def test_restore_all(injector):
+    original = ntdll50.NtClose.__code__
+    injector.inject(InterceptionFault(
+        "repro.ossim.modules.ntdll50", "NtClose", mode="exception"
+    ))
+    assert ntdll50.NtClose.__code__ is not original
+    injector.restore_all()
+    assert ntdll50.NtClose.__code__ is original
+
+
+def test_fault_mode_flag(injector):
+    os_instance = OsInstance(NT50, SimKernel())
+    injector.os_instances = [os_instance]
+    fault = InterceptionFault(
+        "repro.ossim.modules.ntdll50", "NtClose", mode="error"
+    )
+    injector.inject(fault)
+    assert os_instance.fault_mode
+    injector.restore(fault)
+    assert not os_instance.fault_mode

@@ -1,0 +1,176 @@
+"""Integration tests for the experiment harness (smoke-scale)."""
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import WebServerExperiment, profile_servers
+from repro.harness.machine import ServerMachine
+from repro.harness.metrics import DependabilityMetrics
+from repro.harness.results import average_iterations
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig.smoke()
+
+
+@pytest.fixture(scope="module")
+def experiment(config):
+    return WebServerExperiment(config)
+
+
+@pytest.fixture(scope="module")
+def baseline(experiment):
+    return experiment.run_baseline()
+
+
+@pytest.fixture(scope="module")
+def injection(experiment):
+    return experiment.run_injection(iteration=1)
+
+
+def test_machine_boots_with_full_environment(config):
+    machine = ServerMachine(config)
+    assert machine.boot()
+    vfs = machine.kernel.vfs
+    assert vfs.lookup("/etc/apache.conf") is not None
+    assert vfs.lookup("/logs") is not None
+    assert vfs.count_files() > config.fileset_directories * 36
+
+
+def test_baseline_is_clean(baseline):
+    assert baseline.er_percent == 0.0
+    assert baseline.total_ops > 100
+    assert baseline.spc > 0
+    assert 0.1 < baseline.rtm_ms / 1000 < 1.0
+
+
+def test_profile_mode_close_to_baseline(experiment, baseline):
+    profile = experiment.run_profile_mode()
+    assert profile.er_percent == 0.0
+    # Intrusiveness: small THR/RTM degradation (paper: < 2%).
+    assert profile.thr == pytest.approx(baseline.thr, rel=0.06)
+    assert profile.rtm_ms == pytest.approx(baseline.rtm_ms, rel=0.06)
+
+
+def test_injection_degrades_service(experiment, baseline, injection):
+    metrics = injection.metrics
+    assert metrics.er_percent > baseline.er_percent
+    assert injection.faults_injected == len(
+        experiment.prepared_faultload()
+    )
+    assert injection.admf >= 0
+
+
+def test_injection_repeatable_with_same_seed(config, injection):
+    again = WebServerExperiment(config).run_injection(iteration=1)
+    assert again.metrics.total_ops == injection.metrics.total_ops
+    assert again.mis == injection.mis
+    assert again.kns == injection.kns
+    assert again.metrics.er_percent == pytest.approx(
+        injection.metrics.er_percent
+    )
+
+
+def test_iterations_vary_but_resemble(experiment, injection):
+    other = experiment.run_injection(iteration=2)
+    # Different draws...
+    assert other.metrics.total_ops != injection.metrics.total_ops
+    # ...same magnitude of behavior.
+    assert other.metrics.thr == pytest.approx(
+        injection.metrics.thr, rel=0.35
+    )
+
+
+def test_fit_code_pristine_after_injection_run(experiment, injection):
+    """No mutation residue after a full pass (repeatability)."""
+    import inspect
+
+    from repro.gswfit.mutator import resolve_function
+
+    for location in experiment.prepared_faultload():
+        function = resolve_function(location)
+        # Original functions come from the module source file; mutants
+        # from synthetic <gswfit:...> filenames.
+        assert function.__code__.co_filename.endswith(".py")
+
+
+def test_average_iterations_math():
+    class FakeIteration:
+        def __init__(self, spc):
+            self.spc = spc
+
+        def as_row(self):
+            return {"SPC": self.spc, "THR": 0, "RTM": 0, "ER%": 0,
+                    "MIS": 1, "KCP": 0, "KNS": 2}
+
+    average = average_iterations([FakeIteration(10), FakeIteration(20)])
+    assert average["SPC"] == 15
+    assert average["KNS"] == 2
+    assert average_iterations([]) == {}
+
+
+def test_campaign_produces_complete_result(config):
+    campaign_config = ExperimentConfig.smoke()
+    campaign_config.fault_sample = 6
+    campaign_config.rules = type(campaign_config.rules)(
+        warmup_seconds=3.0, rampup_seconds=1.0, rampdown_seconds=1.0,
+        iterations=2, slot_seconds=4.0, slot_gap_seconds=1.0,
+        baseline_seconds=12.0,
+    )
+    result = WebServerExperiment(campaign_config).run_campaign()
+    assert result.baseline is not None
+    assert result.profile_mode is not None
+    assert len(result.iterations) == 2
+    average = result.average_row()
+    assert set(average) == {"SPC", "THR", "RTM", "ER%", "MIS", "KCP",
+                            "KNS"}
+    metrics = DependabilityMetrics.from_results(result)
+    assert metrics.spc_baseline == result.profile_mode.spc
+    assert metrics.admf == pytest.approx(
+        average["MIS"] + average["KNS"] + average["KCP"]
+    )
+
+
+def test_dependability_metrics_relative_views():
+    from repro.harness.results import BenchmarkResult, InjectionIteration
+    from repro.specweb.metrics import SpecWebMetrics
+
+    def metrics(spc, thr, rtm):
+        return SpecWebMetrics(
+            spc=spc, cc_percent=0, thr=thr, rtm_ms=rtm, er_percent=5,
+            total_ops=100, total_errors=5, measured_seconds=10,
+        )
+
+    result = BenchmarkResult("apache", "nt50", "W2k")
+    result.baseline = metrics(30, 100, 350)
+    result.add_iteration(InjectionIteration(
+        iteration=1, metrics=metrics(10, 90, 380),
+        mis=5, kns=3, kcp=1, faults_injected=10,
+    ))
+    dep = DependabilityMetrics.from_results(result)
+    assert dep.spc_relative == pytest.approx(1 / 3)
+    assert dep.thr_relative == pytest.approx(0.9)
+    assert dep.rtm_relative == pytest.approx(380 / 350)
+    assert dep.admf == 9
+    data = dep.as_dict()
+    assert data["ADMf"] == 9
+
+
+def test_profile_servers_returns_tracer_per_server(config):
+    tracers = profile_servers(config, ["apache", "abyss"], seconds=5.0)
+    assert set(tracers) == {"apache", "abyss"}
+    for tracer in tracers.values():
+        assert tracer.total_calls > 100
+
+
+def test_config_presets_and_helpers():
+    paper = ExperimentConfig.paper_scale()
+    assert paper.rules.warmup_seconds == 1200.0
+    assert paper.fault_sample is None
+    scaled = ExperimentConfig.scaled(fault_sample=10)
+    assert scaled.fault_sample == 10
+    other = scaled.with_target(server_name="abyss", os_codename="nt51")
+    assert other.server_name == "abyss"
+    assert scaled.server_name == "apache"  # original untouched
+    assert scaled.iteration_seed(1) != scaled.iteration_seed(2)

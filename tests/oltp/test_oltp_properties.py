@@ -1,0 +1,70 @@
+"""Property-based tests of the OLTP engines and the client audit."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.harness.config import ExperimentConfig
+from repro.oltp import OltpMachine, Transaction
+from repro.oltp.engines import INITIAL_BALANCE
+
+
+def _machine(engine):
+    config = ExperimentConfig.smoke(server_name=engine)
+    machine = OltpMachine(config)
+    assert machine.boot()
+    return machine
+
+
+def _submit(machine, transaction):
+    outcome = []
+    machine.runtime.deliver(transaction, outcome.append)
+    machine.run_for(0.3)
+    return outcome[0] if outcome else None
+
+
+_transfer = st.tuples(
+    st.integers(min_value=0, max_value=39),   # from
+    st.integers(min_value=40, max_value=79),  # to (disjoint: no self)
+    st.integers(min_value=1, max_value=100),  # amount
+)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.sampled_from(["walnut", "breezy"]),
+       st.lists(_transfer, min_size=1, max_size=25))
+def test_property_money_is_conserved(engine, transfers):
+    """No sequence of acknowledged transfers changes the total balance."""
+    machine = _machine(engine)
+    for index, (source, target, amount) in enumerate(transfers):
+        _submit(machine, Transaction(
+            "transfer", index + 1, source, target, amount
+        ))
+    result = _submit(machine, Transaction("scan", 9999))
+    assert result.ok
+    assert result.value == machine.engine.accounts * INITIAL_BALANCE
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(_transfer, min_size=1, max_size=20),
+       st.integers(min_value=0, max_value=19))
+def test_property_walnut_recovery_exact(transfers, crash_after):
+    """Whatever the workload and whenever the crash, WAL recovery
+    reproduces exactly the acknowledged state."""
+    machine = _machine("walnut")
+    expected = {}
+    for index, (source, target, amount) in enumerate(transfers):
+        result = _submit(machine, Transaction(
+            "transfer", index + 1, source, target, amount
+        ))
+        if result is not None and result.ok:
+            expected[source] = expected.get(source, 0) - amount
+            expected[target] = expected.get(target, 0) + amount
+        if index == crash_after:
+            machine.runtime.kill()
+            assert machine.runtime.restart()
+    machine.runtime.kill()
+    assert machine.runtime.restart()
+    for account, delta in expected.items():
+        result = _submit(machine, Transaction("balance", 10**6, account))
+        assert result.value == INITIAL_BALANCE + delta

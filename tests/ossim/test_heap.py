@@ -1,0 +1,152 @@
+"""Unit and property tests for the heap engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ossim.heap import SimHeap
+from repro.sim.errors import SimSegfault
+
+
+def test_allocate_returns_distinct_addresses():
+    heap = SimHeap()
+    a = heap.allocate(100)
+    b = heap.allocate(100)
+    assert a != 0 and b != 0 and a != b
+
+
+def test_free_and_reuse_same_size():
+    heap = SimHeap()
+    a = heap.allocate(128)
+    assert heap.free(a)
+    b = heap.allocate(128)
+    assert b == a  # free list reuse keeps addresses deterministic
+
+
+def test_live_bytes_tracks_allocations():
+    heap = SimHeap()
+    a = heap.allocate(100)  # rounds to 112? (16-alignment)
+    assert heap.live_bytes > 0
+    heap.free(a)
+    assert heap.live_bytes == 0
+
+
+def test_block_size_of_live_block():
+    heap = SimHeap()
+    a = heap.allocate(100)
+    assert heap.block_size(a) >= 100
+    heap.free(a)
+    assert heap.block_size(a) == -1
+
+
+def test_block_size_unknown_address():
+    assert SimHeap().block_size(0xDEAD) == -1
+
+
+def test_commit_limit_enforced():
+    heap = SimHeap(commit_limit=1024)
+    assert heap.allocate(512) != 0
+    assert heap.allocate(2048) == 0
+    assert heap.failed_allocs == 1
+
+
+def test_free_unknown_address_corrupts():
+    heap = SimHeap()
+    assert not heap.free(0xBAD)
+    assert heap.corruption_score == 1
+    assert not heap.validate()
+
+
+def test_double_free_corrupts():
+    heap = SimHeap()
+    a = heap.allocate(64)
+    assert heap.free(a)
+    assert not heap.free(a)
+    assert heap.corruption_score == 1
+
+
+def test_corruption_blast_radius_is_deterministic():
+    """After corruption, exactly every Nth heap op segfaults."""
+    heap = SimHeap(corruption_blast_radius=3)
+    heap.mark_corrupted("test")
+    survived = 0
+    with pytest.raises(SimSegfault):
+        for _ in range(10):
+            heap.allocate(16)
+            survived += 1
+    assert survived == 2  # ops 1, 2 fine; op 3 blows up
+
+
+def test_healthy_heap_never_segfaults():
+    heap = SimHeap()
+    for _ in range(500):
+        address = heap.allocate(32)
+        assert address != 0
+        assert heap.free(address)
+    assert heap.validate()
+
+
+def test_negative_allocation_corrupts_and_fails():
+    heap = SimHeap()
+    assert heap.allocate(-5) == 0
+    assert heap.corruption_score == 1
+
+
+def test_zeroed_flag():
+    heap = SimHeap()
+    a = heap.allocate(64)
+    assert not heap.is_zeroed(a)
+    heap.set_zeroed(a)
+    assert heap.is_zeroed(a)
+    heap.free(a)
+    b = heap.allocate(64)
+    assert b == a
+    assert not heap.is_zeroed(b)  # recycled blocks lose the flag
+
+
+def test_stats_shape():
+    heap = SimHeap()
+    a = heap.allocate(64)
+    heap.free(a)
+    stats = heap.stats()
+    assert stats["alloc_count"] == 1
+    assert stats["free_count"] == 1
+    assert stats["live_blocks"] == 0
+    assert stats["corruption_score"] == 0
+    assert stats["peak_bytes"] >= 64
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=1, max_value=4096),
+                min_size=1, max_size=60))
+def test_property_alloc_free_conserves_live_bytes(sizes):
+    """Allocating then freeing everything returns live_bytes to zero."""
+    heap = SimHeap()
+    addresses = [heap.allocate(size) for size in sizes]
+    assert all(address != 0 for address in addresses)
+    assert heap.live_blocks() == len(sizes)
+    for address in addresses:
+        assert heap.free(address)
+    assert heap.live_bytes == 0
+    assert heap.live_blocks() == 0
+    assert heap.validate()
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(min_value=1, max_value=2048),
+                min_size=2, max_size=40), st.data())
+def test_property_interleaved_alloc_free_never_corrupts(sizes, data):
+    """Any interleaving of valid allocs/frees keeps the heap healthy."""
+    heap = SimHeap()
+    live = []
+    for size in sizes:
+        if live and data.draw(st.booleans()):
+            victim = live.pop(data.draw(
+                st.integers(min_value=0, max_value=len(live) - 1)
+            ))
+            assert heap.free(victim)
+        address = heap.allocate(size)
+        assert address != 0
+        assert address not in live
+        live.append(address)
+    assert heap.validate()
+    assert heap.live_blocks() == len(live)

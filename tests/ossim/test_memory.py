@@ -1,0 +1,101 @@
+"""Unit tests for the virtual memory manager."""
+
+import pytest
+
+from repro.ossim.memory import (
+    PAGE_NOACCESS,
+    PAGE_READONLY,
+    PAGE_READWRITE,
+    PAGE_SIZE,
+    VirtualMemoryManager,
+)
+from repro.sim.errors import SimSegfault
+
+
+@pytest.fixture
+def vmm():
+    return VirtualMemoryManager()
+
+
+def test_reserve_rounds_to_pages(vmm):
+    region = vmm.reserve(100)
+    assert region.size == PAGE_SIZE
+    region2 = vmm.reserve(PAGE_SIZE + 1)
+    assert region2.size == 2 * PAGE_SIZE
+
+
+def test_regions_do_not_overlap(vmm):
+    a = vmm.reserve(PAGE_SIZE)
+    b = vmm.reserve(PAGE_SIZE)
+    assert a.end <= b.base
+
+
+def test_find_by_address(vmm):
+    region = vmm.reserve(2 * PAGE_SIZE)
+    assert vmm.find(region.base) is region
+    assert vmm.find(region.base + region.size - 1) is region
+    assert vmm.find(region.end) is not region
+
+
+def test_protect_changes_and_returns_old(vmm):
+    region = vmm.reserve(PAGE_SIZE, protection=PAGE_READWRITE)
+    old = vmm.protect(region.base, PAGE_SIZE, PAGE_READONLY)
+    assert old == PAGE_READWRITE
+    assert region.protection == PAGE_READONLY
+
+
+def test_protect_unmapped_fails(vmm):
+    assert vmm.protect(0x1, PAGE_SIZE, PAGE_READONLY) == -1
+
+
+def test_protect_invalid_protection_fails(vmm):
+    region = vmm.reserve(PAGE_SIZE)
+    assert vmm.protect(region.base, PAGE_SIZE, 0xFF) == -1
+
+
+def test_protect_past_region_end_fails(vmm):
+    region = vmm.reserve(PAGE_SIZE)
+    assert vmm.protect(region.base, 3 * PAGE_SIZE, PAGE_READONLY) == -1
+
+
+def test_query(vmm):
+    region = vmm.reserve(PAGE_SIZE, protection=PAGE_READONLY)
+    base, size, protection = vmm.query(region.base + 5)
+    assert (base, size, protection) == (
+        region.base, region.size, PAGE_READONLY
+    )
+    assert vmm.query(0x3) is None
+
+
+def test_check_access_unmapped_segfaults(vmm):
+    with pytest.raises(SimSegfault):
+        vmm.check_access(0x10)
+
+
+def test_check_access_noaccess_segfaults(vmm):
+    region = vmm.reserve(PAGE_SIZE, protection=PAGE_NOACCESS)
+    with pytest.raises(SimSegfault):
+        vmm.check_access(region.base)
+
+
+def test_check_access_write_to_readonly_segfaults(vmm):
+    region = vmm.reserve(PAGE_SIZE, protection=PAGE_READONLY)
+    vmm.check_access(region.base)  # reads fine
+    with pytest.raises(SimSegfault):
+        vmm.check_access(region.base, write=True)
+
+
+def test_release(vmm):
+    region = vmm.reserve(PAGE_SIZE)
+    assert vmm.release(region)
+    assert vmm.find(region.base) is None
+    assert not vmm.release(region)
+
+
+def test_call_counters(vmm):
+    region = vmm.reserve(PAGE_SIZE)
+    vmm.protect(region.base, PAGE_SIZE, PAGE_READWRITE)
+    vmm.query(region.base)
+    vmm.query(region.base)
+    assert vmm.protect_calls == 1
+    assert vmm.query_calls == 2

@@ -1,0 +1,129 @@
+"""Tests for features only the NT 5.1 build has."""
+
+import pytest
+
+from repro.ossim.builds import NT50, NT51
+from repro.ossim.context import SimKernel
+from repro.ossim.dispatch import OsInstance
+from repro.ossim.status import NtStatus
+from repro.ossim.strings import unicode_view
+
+
+@pytest.fixture
+def ctx51():
+    os_instance = OsInstance(NT51, SimKernel())
+    vfs = os_instance.kernel.vfs
+    vfs.mkdir("/site", parents=True)
+    vfs.create_file("/site/a.html", size=2000)
+    return os_instance.new_process()
+
+
+def test_nt51_is_superset_of_nt50_exports():
+    missing = set(NT50.export_names()) - set(NT51.export_names())
+    assert missing == set()
+    extra = set(NT51.export_names()) - set(NT50.export_names())
+    assert "NtQueryAttributesFile" in extra
+    assert "RtlValidateUnicodeString" in extra
+    assert "GetFileAttributesW" in extra
+
+
+def test_reserved_device_names_rejected(ctx51):
+    status, result = ctx51.api.RtlDosPathNameToNtPathName_U("/site/con")
+    assert status == NtStatus.OBJECT_NAME_NOT_FOUND
+    status, result = ctx51.api.RtlDosPathNameToNtPathName_U(
+        "/site/aux.txt"
+    )
+    assert status == NtStatus.OBJECT_NAME_NOT_FOUND
+
+
+def test_trailing_dots_rejected(ctx51):
+    status, _ = ctx51.api.RtlDosPathNameToNtPathName_U("/site/a...")
+    # "a..." trims to "a" which is fine; a component of only dots dies.
+    assert status in (NtStatus.SUCCESS, NtStatus.OBJECT_NAME_NOT_FOUND)
+    status, _ = ctx51.api.RtlDosPathNameToNtPathName_U("/site/ .")
+    assert status == NtStatus.OBJECT_NAME_NOT_FOUND
+
+
+def test_nt50_allows_device_names():
+    """The hardening is 5.1-only, so the builds genuinely differ."""
+    os_instance = OsInstance(NT50, SimKernel())
+    ctx = os_instance.new_process()
+    status, nt_path = ctx.api.RtlDosPathNameToNtPathName_U("/site/con")
+    assert status == NtStatus.SUCCESS
+    ctx.api.RtlFreeUnicodeString(nt_path)
+
+
+def test_validate_unicode_string(ctx51):
+    good = unicode_view("abc")
+    assert ctx51.api.RtlValidateUnicodeString(good) == NtStatus.SUCCESS
+    bad = unicode_view("abc")
+    bad.length = 5  # odd
+    assert ctx51.api.RtlValidateUnicodeString(bad) == (
+        NtStatus.INVALID_PARAMETER
+    )
+
+
+def test_query_attributes_file(ctx51):
+    status, nt_path = ctx51.api.RtlDosPathNameToNtPathName_U(
+        "/site/a.html"
+    )
+    status, attributes = ctx51.api.NtQueryAttributesFile(nt_path)
+    assert status == NtStatus.SUCCESS
+    assert attributes == {
+        "directory": False, "size": 2000, "read_only": False,
+    }
+    ctx51.api.RtlFreeUnicodeString(nt_path)
+
+
+def test_get_file_attributes_w(ctx51):
+    attributes = ctx51.api.GetFileAttributesW("/site/a.html")
+    assert attributes == 0x80  # FILE_ATTRIBUTE_NORMAL
+    assert ctx51.api.GetFileAttributesW("/site") == 0x10  # DIRECTORY
+    assert ctx51.api.GetFileAttributesW("/site/no") == -1
+
+
+def test_lookaside_reuses_small_blocks(ctx51):
+    api = ctx51.api
+    address = api.RtlAllocateHeap(128, 0)
+    api.RtlFreeHeap(address)
+    # The engine free-list also recycles; what's observable is stability.
+    again = api.RtlAllocateHeap(128, 0)
+    assert again != 0
+    api.RtlFreeHeap(again)
+    state = ctx51.os_state.get("lookaside")
+    assert state is not None
+    assert state["misses"] >= 1
+
+
+def test_prefetch_discount_for_sequential_reads(ctx51):
+    """Sequential reads are cheaper per byte than random reads on 5.1."""
+    api = ctx51.api
+    status, nt_path = api.RtlDosPathNameToNtPathName_U("/site/a.html")
+    _status, handle = api.NtOpenFile(nt_path, "r")
+    api.RtlFreeUnicodeString(nt_path)
+
+    api.NtReadFile(handle, 500)  # primes the window
+    before = ctx51.cpu.total_cycles
+    api.NtReadFile(handle, 500)  # sequential: discounted
+    sequential_cost = ctx51.cpu.total_cycles - before
+
+    api.NtSetInformationFile(handle, 0)  # seek invalidates the window
+    before = ctx51.cpu.total_cycles
+    api.NtReadFile(handle, 500)
+    random_cost = ctx51.cpu.total_cycles - before
+    assert sequential_cost < random_cost
+    api.NtClose(handle)
+
+
+def test_negative_handle_rejected_by_51(ctx51):
+    assert ctx51.api.NtClose(-4) == NtStatus.INVALID_HANDLE
+    assert not ctx51.api.CloseHandle(-4)
+
+
+def test_file_open_accounting(ctx51):
+    api = ctx51.api
+    status, nt_path = api.RtlDosPathNameToNtPathName_U("/site/a.html")
+    _status, handle = api.NtOpenFile(nt_path, "r")
+    api.NtClose(handle)
+    api.RtlFreeUnicodeString(nt_path)
+    assert ctx51.os_state.get("file_opens", 0) >= 1

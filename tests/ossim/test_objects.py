@@ -1,0 +1,116 @@
+"""Unit tests for the object manager and handle table."""
+
+import pytest
+
+from repro.ossim.objects import FileObject, HandleTable, KernelObject
+from repro.ossim.vfs import VirtualFileSystem
+from repro.sim.errors import SimSegfault
+
+
+@pytest.fixture
+def node():
+    fs = VirtualFileSystem()
+    fs.mkdir("/d", parents=True)
+    return fs.create_file("/d/f", size=100)
+
+
+def test_insert_returns_nt_style_handles():
+    table = HandleTable()
+    a = table.insert(KernelObject("a"))
+    b = table.insert(KernelObject("b"))
+    assert a == 4
+    assert b == 8
+
+
+def test_resolve_live_handle():
+    table = HandleTable()
+    obj = KernelObject("x")
+    handle = table.insert(obj)
+    assert table.resolve(handle) is obj
+
+
+def test_resolve_invalid_handle():
+    table = HandleTable()
+    assert table.resolve(1234) is None
+    assert table.resolve(0) is None
+
+
+def test_resolve_type_checked(node):
+    table = HandleTable()
+    handle = table.insert(FileObject(node))
+    assert table.resolve(handle, "File") is not None
+    assert table.resolve(handle, "Mutex") is None
+
+
+def test_close_releases_and_recycles():
+    table = HandleTable()
+    first = table.insert(KernelObject("a"))
+    assert table.close(first)
+    assert table.resolve(first) is None
+    again = table.insert(KernelObject("b"))
+    assert again == first  # slot recycled deterministically
+
+
+def test_close_invalid_handle_false():
+    assert not HandleTable().close(4)
+
+
+def test_capacity_exhaustion_returns_zero():
+    table = HandleTable(capacity=2)
+    assert table.insert(KernelObject()) != 0
+    assert table.insert(KernelObject()) != 0
+    assert table.insert(KernelObject()) == 0
+
+
+def test_close_all(node):
+    table = HandleTable()
+    handles = [table.insert(FileObject(node)) for _ in range(3)]
+    assert node.open_count == 0  # FileObject alone does not bump it
+    table.close_all()
+    assert len(table) == 0
+    for handle in handles:
+        assert table.resolve(handle) is None
+
+
+def test_file_object_close_decrements_open_count(node):
+    table = HandleTable()
+    file_object = FileObject(node)
+    node.open_count += 1
+    handle = table.insert(file_object)
+    table.close(handle)
+    assert node.open_count == 0
+    assert file_object.closed
+
+
+def test_refcounted_object_survives_one_close():
+    table = HandleTable()
+    obj = KernelObject("shared")
+    obj.reference()
+    handle_a = table.insert(obj)
+    table.close(handle_a)
+    assert not obj.closed
+    obj.dereference()
+    assert obj.closed
+
+
+def test_dereference_dead_object_segfaults():
+    obj = KernelObject("dead")
+    obj.dereference()
+    with pytest.raises(SimSegfault):
+        obj.dereference()
+
+
+def test_total_opened_counter():
+    table = HandleTable()
+    table.insert(KernelObject())
+    handle = table.insert(KernelObject())
+    table.close(handle)
+    table.insert(KernelObject())
+    assert table.total_opened == 3
+
+
+def test_handles_snapshot_sorted():
+    table = HandleTable()
+    for _ in range(3):
+        table.insert(KernelObject())
+    assert table.handles() == sorted(table.handles())

@@ -1,0 +1,101 @@
+"""Contract tests for the record channel (NtWriteFile records,
+NtQueryFileRecords, SetEndOfFile) on both builds."""
+
+import pytest
+
+from repro.ossim.status import NtStatus
+
+
+@pytest.fixture
+def db_handle(ctx):
+    ctx.vfs.mkdir("/db", parents=True)
+    handle = ctx.api.CreateFileW("/db/t.dat", "rw", 4)
+    assert handle != 0
+    return handle
+
+
+def test_write_record_and_query(ctx, db_handle):
+    status, written = ctx.api.NtWriteFile(
+        db_handle, 64, 0, ("acct", 1, 500)
+    )
+    assert status == NtStatus.SUCCESS and written == 64
+    status, records = ctx.api.NtQueryFileRecords(db_handle, 0, 1000)
+    assert status == NtStatus.SUCCESS
+    assert records == [(0, ("acct", 1, 500))]
+
+
+def test_record_overwrite_at_same_offset(ctx, db_handle):
+    ctx.api.NtWriteFile(db_handle, 64, 0, ("acct", 1, 500))
+    ctx.api.NtWriteFile(db_handle, 64, 0, ("acct", 1, 999))
+    _status, records = ctx.api.NtQueryFileRecords(db_handle, 0, 1000)
+    assert records == [(0, ("acct", 1, 999))]
+
+
+def test_records_returned_in_offset_order(ctx, db_handle):
+    for offset in (128, 0, 64):
+        ctx.api.NtWriteFile(db_handle, 64, offset, ("r", offset))
+    _status, records = ctx.api.NtQueryFileRecords(db_handle, 0, 1000)
+    assert [offset for offset, _record in records] == [0, 64, 128]
+
+
+def test_query_range_is_half_open(ctx, db_handle):
+    ctx.api.NtWriteFile(db_handle, 64, 0, ("a",))
+    ctx.api.NtWriteFile(db_handle, 64, 64, ("b",))
+    _status, records = ctx.api.NtQueryFileRecords(db_handle, 0, 64)
+    assert [record for _o, record in records] == [("a",)]
+    _status, records = ctx.api.NtQueryFileRecords(db_handle, 64, 64)
+    assert [record for _o, record in records] == [("b",)]
+
+
+def test_query_invalid_handle_and_range(ctx, db_handle):
+    assert ctx.api.NtQueryFileRecords(999, 0, 10)[0] == (
+        NtStatus.INVALID_HANDLE
+    )
+    assert ctx.api.NtQueryFileRecords(db_handle, -1, 10)[0] == (
+        NtStatus.INVALID_PARAMETER
+    )
+    assert ctx.api.NtQueryFileRecords(db_handle, 0, -1)[0] == (
+        NtStatus.INVALID_PARAMETER
+    )
+
+
+def test_plain_writes_unaffected(ctx, db_handle):
+    """The record channel is optional: classic writes behave as before."""
+    status, written = ctx.api.NtWriteFile(db_handle, 100)
+    assert status == NtStatus.SUCCESS and written == 100
+    _status, records = ctx.api.NtQueryFileRecords(db_handle, 0, 1000)
+    assert records == []
+
+
+def test_set_end_of_file_truncates_records(ctx, db_handle):
+    ctx.api.NtWriteFile(db_handle, 64, 0, ("keep",))
+    ctx.api.NtWriteFile(db_handle, 64, 256, ("drop",))
+    assert ctx.api.SetFilePointer(db_handle, 128, 0) == 128
+    assert ctx.api.SetEndOfFile(db_handle)
+    _status, info = ctx.api.NtQueryInformationFile(db_handle)
+    assert info["size"] == 128
+    _status, records = ctx.api.NtQueryFileRecords(db_handle, 0, 1000)
+    assert [record for _o, record in records] == [("keep",)]
+
+
+def test_set_end_of_file_to_zero_empties(ctx, db_handle):
+    ctx.api.NtWriteFile(db_handle, 64, 0, ("x",))
+    ctx.api.SetFilePointer(db_handle, 0, 0)
+    assert ctx.api.SetEndOfFile(db_handle)
+    _status, records = ctx.api.NtQueryFileRecords(db_handle, 0, 1000)
+    assert records == []
+
+
+def test_set_end_of_file_invalid_handle(ctx):
+    assert not ctx.api.SetEndOfFile(0)
+
+
+def test_records_survive_reopen(ctx, db_handle):
+    """Durability: records persist across handle close/reopen —
+    the property the WAL engine's recovery rests on."""
+    ctx.api.NtWriteFile(db_handle, 64, 0, ("durable", 42))
+    ctx.api.CloseHandle(db_handle)
+    again = ctx.api.CreateFileW("/db/t.dat", "rw", 3)
+    _status, records = ctx.api.NtQueryFileRecords(again, 0, 1000)
+    assert records == [(0, ("durable", 42))]
+    ctx.api.CloseHandle(again)

@@ -1,0 +1,62 @@
+"""Unit tests for counted-string structures."""
+
+from repro.ossim.strings import (
+    AnsiString,
+    UnicodeString,
+    ansi_view,
+    unicode_view,
+)
+
+
+def test_ansi_view_consistent():
+    s = ansi_view("hello")
+    assert s.consistent()
+    assert s.text() == "hello"
+    assert s.length == 5
+    assert s.maximum_length == 6
+
+
+def test_unicode_view_consistent():
+    s = unicode_view("hello")
+    assert s.consistent()
+    assert s.text() == "hello"
+    assert s.length == 10
+    assert s.char_count() == 5
+
+
+def test_text_trusts_length_field_not_buffer():
+    """Consumers see the counted window — a wrong length truncates."""
+    s = unicode_view("abcdef")
+    s.length = 6  # 3 characters
+    assert s.text() == "abc"
+    assert not s.consistent()
+
+
+def test_negative_length_yields_empty_text():
+    s = ansi_view("abc")
+    s.length = -2
+    assert s.text() == ""
+    assert not s.consistent()
+
+
+def test_unicode_odd_length_inconsistent():
+    s = unicode_view("ab")
+    s.length = 3
+    assert not s.consistent()
+
+
+def test_length_beyond_maximum_inconsistent():
+    s = ansi_view("abc")
+    s.maximum_length = 2
+    assert not s.consistent()
+
+
+def test_empty_strings():
+    assert ansi_view("").consistent()
+    assert unicode_view("").consistent()
+    assert unicode_view("").text() == ""
+
+
+def test_default_construction():
+    assert AnsiString().text() == ""
+    assert UnicodeString().char_count() == 0

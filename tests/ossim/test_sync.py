@@ -1,0 +1,102 @@
+"""Unit tests for critical sections — the hang machinery."""
+
+import pytest
+
+from repro.ossim.sync import CriticalSection, SyncRegistry
+from repro.sim.errors import SimBlockedForever, SimSegfault
+
+
+def test_enter_leave_cycle():
+    cs = CriticalSection("log")
+    cs.enter("t1")
+    assert cs.held() and cs.owner == "t1"
+    assert cs.leave("t1")
+    assert not cs.held()
+
+
+def test_recursive_enter_same_thread():
+    cs = CriticalSection("log")
+    cs.enter("t1")
+    cs.enter("t1")
+    assert cs.recursion == 2
+    cs.leave("t1")
+    assert cs.held()
+    cs.leave("t1")
+    assert not cs.held()
+
+
+def test_enter_leaked_section_blocks_forever():
+    """The signature failure mode: a lock held by another (gone) thread."""
+    cs = CriticalSection("log")
+    cs.enter("t1")
+    with pytest.raises(SimBlockedForever):
+        cs.enter("t2")
+
+
+def test_leave_not_owner_corrupts():
+    cs = CriticalSection("log")
+    cs.enter("t1")
+    assert not cs.leave("t2")
+    assert cs.corrupted
+
+
+def test_leave_never_entered_corrupts():
+    cs = CriticalSection("log")
+    assert not cs.leave("t1")
+    assert cs.corrupted
+
+
+def test_corrupted_section_segfaults_on_enter():
+    cs = CriticalSection("log")
+    cs.leave("t1")  # corrupts
+    with pytest.raises(SimSegfault):
+        cs.enter("t1")
+
+
+def test_force_release_steals_from_dead_thread():
+    cs = CriticalSection("log")
+    cs.enter("dead-thread")
+    assert cs.force_release("dead-thread")
+    assert not cs.held()
+    cs.enter("t2")  # now acquirable again
+
+
+def test_force_release_wrong_owner_noop():
+    cs = CriticalSection("log")
+    cs.enter("t1")
+    assert not cs.force_release("t2")
+    assert cs.owner == "t1"
+
+
+def test_registry_get_creates_once():
+    registry = SyncRegistry()
+    a = registry.get("apache.log")
+    b = registry.get("apache.log")
+    assert a is b
+    assert registry.get("other") is not a
+
+
+def test_registry_leaked_sections():
+    registry = SyncRegistry()
+    registry.get("a").enter("t1")
+    registry.get("b")
+    assert [s.name for s in registry.leaked_sections()] == ["a"]
+
+
+def test_registry_release_thread():
+    registry = SyncRegistry()
+    registry.get("a").enter("t1")
+    registry.get("b").enter("t1")
+    registry.get("c").enter("t2")
+    assert registry.release_thread("t1") == 2
+    assert [s.name for s in registry.leaked_sections()] == ["c"]
+
+
+def test_enter_counts():
+    cs = CriticalSection("x")
+    cs.enter("t")
+    cs.leave("t")
+    cs.enter("t")
+    cs.leave("t")
+    assert cs.enter_count == 2
+    assert cs.leave_count == 2

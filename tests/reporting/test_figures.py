@@ -1,0 +1,48 @@
+"""Tests for ASCII figure rendering."""
+
+from repro.reporting.figures import bar_chart, figure5_panels
+
+
+def test_bar_chart_scales_to_peak():
+    text = bar_chart("t", {"a": 10.0, "b": 5.0}, width=20)
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert lines[1].count("#") == 20
+    assert lines[2].count("#") == 10
+
+
+def test_bar_chart_zero_and_negative():
+    text = bar_chart("t", {"a": 0.0, "b": -3.0, "c": 6.0})
+    lines = text.splitlines()
+    assert lines[1].count("#") == 0
+    assert lines[2].count("#") == 0
+    assert lines[3].count("#") > 0
+
+
+def test_bar_chart_small_nonzero_still_visible():
+    text = bar_chart("t", {"big": 1000.0, "small": 1.0}, width=20)
+    assert text.splitlines()[2].count("#") == 1
+
+
+def test_bar_chart_empty():
+    assert "(no data)" in bar_chart("t", {})
+
+
+def test_bar_chart_unit_suffix():
+    text = bar_chart("t", {"a": 2.0}, unit=" ms")
+    assert "2.0 ms" in text
+
+
+def test_figure5_panels_structure():
+    combos = [("W2k", "apache"), ("W2k", "abyss")]
+    series = {
+        name: {combo: float(i + 1) for i, combo in enumerate(combos)}
+        for name in ("SPC_baseline", "SPCf", "THR_baseline", "THRf",
+                     "RTM_baseline", "RTMf", "ER%f", "ADMf",
+                     "MIS", "KNS", "KCP")
+    }
+    text = figure5_panels(series)
+    assert "SPC: baseline vs faultload" in text
+    assert "ADMf" in text
+    assert "W2k/apache base" in text
+    assert "W2k/abyss fault" in text

@@ -1,0 +1,177 @@
+"""Tests for tables, report builders and shape checks."""
+
+import pytest
+
+from repro.faults.types import FaultType, iter_fault_types
+from repro.reporting.compare import (
+    ShapeCheck,
+    compare_shape,
+    table3_shape_checks,
+    table4_shape_checks,
+    table5_shape_checks,
+)
+from repro.reporting.paper import PAPER
+from repro.reporting.report import (
+    figure5_series,
+    table1_fault_types,
+    table3_faultload_details,
+    table4_intrusiveness,
+)
+from repro.reporting.tables import TableBuilder, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(["A", "Long header"], [[1, 2], [333, 4]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(line) for line in lines[1:])) == 1  # aligned? no:
+    # header/sep/rows padded to same widths per column
+    assert "Long header" in lines[0]
+
+
+def test_table_builder_validates_row_width():
+    builder = TableBuilder(["a", "b"])
+    with pytest.raises(ValueError):
+        builder.add_row(1)
+    builder.add_row(1, 2)
+    assert "1" in builder.render()
+
+
+def test_table_builder_csv():
+    builder = TableBuilder(["a", "b"], title="t")
+    builder.add_row(1, 2.5)
+    csv = builder.to_csv()
+    assert csv.splitlines() == ["a,b", "1,2.50"]
+
+
+def test_table1_matches_paper_values():
+    text = table1_fault_types().render()
+    assert "MVI" in text and "Assignment" in text
+    assert "50.69 %" in text
+    for fault_type in iter_fault_types():
+        assert fault_type.value in text
+
+
+def test_table3_builder_counts():
+    from repro.gswfit.scanner import scan_build
+    from repro.ossim.builds import NT50
+
+    faultload = scan_build(NT50)
+    text = table3_faultload_details({"W2k": faultload}).render()
+    assert str(len(faultload)) in text
+
+
+def test_table4_builder_degradation_rows():
+    from repro.specweb.metrics import SpecWebMetrics
+
+    def metrics(thr, rtm):
+        return SpecWebMetrics(
+            spc=10, cc_percent=90, thr=thr, rtm_ms=rtm, er_percent=0,
+            total_ops=10, total_errors=0, measured_seconds=1,
+        )
+
+    table = table4_intrusiveness({
+        ("W2k", "apache"): (metrics(100.0, 350.0), metrics(99.0, 353.5)),
+    })
+    text = table.render()
+    assert "Max. Perf." in text
+    assert "Profile mode" in text
+    assert "1.00" in text  # THR degradation percent
+
+
+def test_figure5_series_structure():
+    from repro.harness.metrics import DependabilityMetrics
+
+    metrics = DependabilityMetrics(
+        server_name="apache", os_display="W2k",
+        spc_baseline=30, thr_baseline=100, rtm_baseline_ms=350,
+        spcf=10, thrf=95, rtmf_ms=360, erf_percent=7.0,
+        mis=5, kns=3, kcp=0,
+    )
+    series = figure5_series({("W2k", "apache"): metrics})
+    assert series["SPCf"][("W2k", "apache")] == 10
+    assert series["ADMf"][("W2k", "apache")] == 8
+    assert set(series) >= {"SPC_baseline", "THRf", "ER%f", "MIS"}
+
+
+def test_shape_check_str():
+    check = ShapeCheck("claim", True, "detail")
+    assert "PASS" in str(check)
+    assert "FAIL" in str(ShapeCheck("claim", False, "d"))
+
+
+def test_compare_shape_summary():
+    passed, report = compare_shape([
+        ShapeCheck("a", True, ""), ShapeCheck("b", False, ""),
+    ])
+    assert not passed
+    assert "1/2" in report
+
+
+def test_table3_shape_checks_pass_on_paper_numbers():
+    w2k = {FaultType(k): v for k, v in PAPER["table3"]["win2000"].items()
+           if k != "total"}
+    xp = {FaultType(k): v for k, v in PAPER["table3"]["winxp"].items()
+          if k != "total"}
+    checks = table3_shape_checks(w2k, xp, 1714, 2927)
+    assert all(check.passed for check in checks)
+
+
+def test_table3_shape_checks_fail_on_flat_faultload():
+    flat = {ft: 10 for ft in iter_fault_types()}
+    checks = table3_shape_checks(flat, flat, 120, 120)
+    assert not all(check.passed for check in checks)
+
+
+def test_table4_shape_checks():
+    checks = table4_shape_checks({"x": 1.9, "y": 0.3})
+    assert all(c.passed for c in checks)
+    checks = table4_shape_checks({"x": 9.0})
+    assert not checks[0].passed
+
+
+def _dep(server, erf, spc_rel, mis, kns, thr_rel=0.95):
+    from repro.harness.metrics import DependabilityMetrics
+
+    return DependabilityMetrics(
+        server_name=server, os_display="os",
+        spc_baseline=30, thr_baseline=100, rtm_baseline_ms=350,
+        spcf=30 * spc_rel, thrf=100 * thr_rel, rtmf_ms=360,
+        erf_percent=erf, mis=mis, kns=kns, kcp=0,
+    )
+
+
+def test_table5_shape_checks_pass_on_paper_like_data():
+    metrics = {
+        ("w2k", "apache"): _dep("apache", 7.7, 0.36, 60, 69),
+        ("w2k", "abyss"): _dep("abyss", 21.9, 0.27, 130, 39),
+        ("xp", "apache"): _dep("apache", 5.7, 0.40, 85, 103),
+        ("xp", "abyss"): _dep("abyss", 14.5, 0.27, 163, 59),
+    }
+    checks = table5_shape_checks(metrics)
+    assert all(check.passed for check in checks), "\n".join(
+        str(c) for c in checks if not c.passed
+    )
+
+
+def test_table5_shape_checks_fail_when_winner_flips():
+    metrics = {
+        ("w2k", "apache"): _dep("apache", 7.7, 0.36, 60, 69),
+        ("w2k", "abyss"): _dep("abyss", 21.9, 0.27, 130, 39),
+        ("xp", "apache"): _dep("apache", 20.0, 0.10, 200, 103),
+        ("xp", "abyss"): _dep("abyss", 5.0, 0.50, 20, 10),
+    }
+    checks = table5_shape_checks(metrics)
+    assert not all(check.passed for check in checks)
+
+
+def test_paper_reference_data_is_self_consistent():
+    table3 = PAPER["table3"]
+    for os_name in ("win2000", "winxp"):
+        entries = {k: v for k, v in table3[os_name].items()
+                   if k != "total"}
+        assert sum(entries.values()) == table3[os_name]["total"]
+    assert PAPER["table1"]["total"] == pytest.approx(
+        sum(v for k, v in PAPER["table1"].items() if k != "total"),
+        abs=0.01,
+    )

@@ -1,0 +1,76 @@
+"""Unit tests for CPU-cycle accounting."""
+
+import pytest
+
+from repro.sim.cpu import CpuMeter
+from repro.sim.errors import CpuBudgetExceeded
+
+
+def test_charge_accumulates():
+    meter = CpuMeter(speed_hz=1000)
+    meter.charge(10)
+    meter.charge(5)
+    assert meter.total_cycles == 15
+
+
+def test_negative_charge_clamped():
+    meter = CpuMeter(speed_hz=1000)
+    meter.charge(-50)
+    assert meter.total_cycles == 0
+
+
+def test_invalid_speed_rejected():
+    with pytest.raises(ValueError):
+        CpuMeter(speed_hz=0)
+
+
+def test_operation_bracketing_isolates_cycles():
+    meter = CpuMeter(speed_hz=1000)
+    meter.charge(100)  # outside any operation
+    meter.begin_operation()
+    meter.charge(30)
+    assert meter.end_operation() == 30
+    assert meter.total_cycles == 130
+
+
+def test_begin_operation_resets_counter():
+    meter = CpuMeter(speed_hz=1000)
+    meter.begin_operation()
+    meter.charge(10)
+    meter.end_operation()
+    meter.begin_operation()
+    meter.charge(7)
+    assert meter.end_operation() == 7
+
+
+def test_budget_enforced_within_operation():
+    meter = CpuMeter(speed_hz=1000, operation_budget=100)
+    meter.begin_operation()
+    meter.charge(60)
+    with pytest.raises(CpuBudgetExceeded) as exc_info:
+        meter.charge(60)
+    assert exc_info.value.cycles == 120
+
+
+def test_budget_not_enforced_outside_operation():
+    meter = CpuMeter(speed_hz=1000, operation_budget=10)
+    meter.charge(1000)  # no operation in progress: fine
+
+
+def test_no_budget_means_unlimited():
+    meter = CpuMeter(speed_hz=1000, operation_budget=None)
+    meter.begin_operation()
+    meter.charge(10**9)
+    assert meter.end_operation() == 10**9
+
+
+def test_cycle_time_conversions_roundtrip():
+    meter = CpuMeter(speed_hz=2_000_000)
+    assert meter.cycles_to_seconds(2_000_000) == 1.0
+    assert meter.seconds_to_cycles(0.5) == 1_000_000
+
+
+def test_fractional_charge_truncated_to_int():
+    meter = CpuMeter(speed_hz=1000)
+    meter.charge(10.9)
+    assert meter.total_cycles == 10

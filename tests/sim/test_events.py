@@ -1,0 +1,102 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+def test_push_pop_orders_by_time():
+    queue = EventQueue()
+    fired = []
+    queue.push(3.0, fired.append, ("c",))
+    queue.push(1.0, fired.append, ("a",))
+    queue.push(2.0, fired.append, ("b",))
+    order = []
+    while queue:
+        event = queue.pop()
+        order.append(event.time)
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_same_time_events_fire_in_push_order():
+    queue = EventQueue()
+    first = queue.push(5.0, lambda: None)
+    second = queue.push(5.0, lambda: None)
+    assert queue.pop() is first
+    assert queue.pop() is second
+
+
+def test_len_counts_live_events_only():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    queue.cancel(event)
+    assert len(queue) == 1
+
+
+def test_cancelled_event_is_skipped_by_pop():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    keeper = queue.push(2.0, lambda: None)
+    queue.cancel(event)
+    assert queue.pop() is keeper
+
+
+def test_cancel_twice_is_safe():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert len(queue) == 0
+    assert queue.pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.push(4.0, lambda: None)
+    queue.cancel(event)
+    assert queue.peek_time() == 4.0
+
+
+def test_peek_time_empty_queue():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    assert not queue
+
+
+def test_event_repr_mentions_state():
+    event = Event(1.5, 7, lambda: None, ())
+    assert "1.5" in repr(event)
+    event.cancel()
+    assert "cancelled" in repr(event)
+
+
+def test_bool_reflects_liveness():
+    queue = EventQueue()
+    assert not queue
+    queue.push(1.0, lambda: None)
+    assert queue
+
+
+def test_many_events_heap_property():
+    queue = EventQueue()
+    times = [7.0, 1.0, 9.0, 3.0, 5.0, 2.0, 8.0, 4.0, 6.0, 0.5]
+    for t in times:
+        queue.push(t, lambda: None)
+    popped = []
+    while queue:
+        popped.append(queue.pop().time)
+    assert popped == sorted(times)

@@ -1,0 +1,72 @@
+"""Unit tests for the network link model."""
+
+import pytest
+
+from repro.sim.network import NetworkLink
+
+
+def test_transfer_time_per_connection_cap():
+    link = NetworkLink(
+        bandwidth_bps=100_000_000, latency=0.0, per_connection_bps=400_000
+    )
+    # 50 KB at 400 kbit/s = 1 second.
+    assert link.transfer_time(50_000) == pytest.approx(1.0)
+
+
+def test_latency_added():
+    link = NetworkLink(latency=0.01, per_connection_bps=400_000)
+    assert link.transfer_time(0) == pytest.approx(0.01)
+
+
+def test_shared_capacity_divides_among_transfers():
+    link = NetworkLink(
+        bandwidth_bps=1_000_000, latency=0.0, per_connection_bps=None
+    )
+    solo = link.effective_rate_bps()
+    for _ in range(4):
+        link.begin_transfer()
+    assert link.effective_rate_bps() == pytest.approx(solo / 4)
+
+
+def test_cap_binds_before_share_when_lower():
+    link = NetworkLink(
+        bandwidth_bps=100_000_000, per_connection_bps=400_000
+    )
+    link.begin_transfer()
+    assert link.effective_rate_bps() == 400_000
+
+
+def test_end_transfer_restores_share():
+    link = NetworkLink(bandwidth_bps=1_000_000, per_connection_bps=None)
+    link.begin_transfer()
+    link.begin_transfer()
+    link.end_transfer()
+    assert link.active_transfers == 1
+    link.end_transfer()
+    link.end_transfer()  # extra end is safe
+    assert link.active_transfers == 0
+
+
+def test_request_time_small():
+    link = NetworkLink(per_connection_bps=400_000, latency=0.0002)
+    t = link.request_time()
+    assert 0.0002 < t < 0.05
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        NetworkLink().transfer_time(-1)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        NetworkLink(bandwidth_bps=0)
+    with pytest.raises(ValueError):
+        NetworkLink(latency=-1.0)
+
+
+def test_total_bytes_accounted():
+    link = NetworkLink()
+    link.transfer_time(1000)
+    link.transfer_time(2000)
+    assert link.total_bytes == 3000

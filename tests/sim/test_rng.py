@@ -1,0 +1,91 @@
+"""Unit and property tests for seeded random streams."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import SeededRng, derive_seed
+
+
+def test_same_seed_same_stream():
+    a = SeededRng(123)
+    b = SeededRng(123)
+    assert [a.random() for _ in range(10)] == [
+        b.random() for _ in range(10)
+    ]
+
+
+def test_different_seeds_differ():
+    assert SeededRng(1).random() != SeededRng(2).random()
+
+
+def test_substream_independent_of_sibling_consumption():
+    """Drawing from one substream must not perturb another."""
+    parent = SeededRng(99)
+    lonely = parent.substream("b").random()
+
+    parent2 = SeededRng(99)
+    a = parent2.substream("a")
+    for _ in range(100):
+        a.random()
+    assert parent2.substream("b").random() == lonely
+
+
+def test_substream_labels_compose():
+    root = SeededRng(5, label="root")
+    child = root.substream("x", 3)
+    assert child.label == "root/x/3"
+
+
+def test_derive_seed_stable_and_label_sensitive():
+    assert derive_seed(10, "a") == derive_seed(10, "a")
+    assert derive_seed(10, "a") != derive_seed(10, "b")
+    assert derive_seed(10, "a") != derive_seed(11, "a")
+
+
+def test_derive_seed_order_sensitive():
+    assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+
+@given(st.integers(min_value=0, max_value=2**62), st.text(max_size=20))
+def test_derive_seed_in_range(seed, label):
+    value = derive_seed(seed, label)
+    assert 0 <= value < 2**63
+
+
+@given(st.integers(min_value=1, max_value=50))
+def test_zipf_index_within_bounds(count):
+    rng = SeededRng(7)
+    for _ in range(50):
+        index = rng.zipf_index(count)
+        assert 0 <= index < count
+
+
+def test_zipf_prefers_low_ranks():
+    rng = SeededRng(11)
+    draws = [rng.zipf_index(20) for _ in range(3000)]
+    low = sum(1 for d in draws if d < 5)
+    high = sum(1 for d in draws if d >= 15)
+    assert low > high * 2
+
+
+def test_zipf_invalid_count():
+    import pytest
+
+    with pytest.raises(ValueError):
+        SeededRng(1).zipf_index(0)
+
+
+def test_choices_and_sample_deterministic():
+    a = SeededRng(4)
+    b = SeededRng(4)
+    population = list(range(20))
+    assert a.choices(population, weights=None, k=5) == b.choices(
+        population, weights=None, k=5
+    )
+    assert a.sample(population, 5) == b.sample(population, 5)
+
+
+def test_uniform_bounds():
+    rng = SeededRng(8)
+    for _ in range(100):
+        value = rng.uniform(2.0, 3.0)
+        assert 2.0 <= value <= 3.0

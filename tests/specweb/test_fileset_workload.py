@@ -1,0 +1,122 @@
+"""Tests for the SPECWeb99 fileset and workload generator."""
+
+import pytest
+
+from repro.ossim.vfs import VirtualFileSystem
+from repro.sim.rng import SeededRng
+from repro.specweb.fileset import (
+    CLASS_COUNT,
+    FILES_PER_CLASS,
+    SpecWebFileset,
+)
+from repro.specweb.workload import (
+    OperationKind,
+    WorkloadGenerator,
+    POST_BODY_BYTES,
+)
+
+
+@pytest.fixture
+def fileset():
+    fs = SpecWebFileset(directories=3)
+    vfs = VirtualFileSystem()
+    fs.populate(vfs)
+    return fs
+
+
+def test_structure_counts(fileset):
+    assert fileset.total_files() == 3 * CLASS_COUNT * FILES_PER_CLASS
+    assert len(fileset.entries) == fileset.total_files()
+
+
+def test_class_sizes_follow_specweb_pattern():
+    fs = SpecWebFileset(directories=1)
+    assert fs.file_size(0, 0) == 100
+    assert fs.file_size(0, 8) == 900
+    assert fs.file_size(1, 4) == 5_000
+    assert fs.file_size(2, 0) == 10_000
+    assert fs.file_size(3, 8) == 900_000
+
+
+def test_mean_transfer_close_to_15kb():
+    fs = SpecWebFileset(directories=1)
+    assert 12_000 < fs.mean_transfer_bytes() < 18_000
+
+
+def test_populate_creates_real_vfs_nodes(fileset):
+    vfs_entry = fileset.entry("/dir00002/class3_8")
+    assert vfs_entry is not None
+    assert vfs_entry.size == 900_000
+
+
+def test_entry_ground_truth_matches_vfs():
+    fs = SpecWebFileset(directories=2)
+    vfs = VirtualFileSystem()
+    fs.populate(vfs)
+    for url, entry in fs.entries.items():
+        node = vfs.lookup(f"{fs.root}{url}")
+        assert node is not None
+        assert node.size == entry.size
+        assert node.content_id == entry.content_id
+
+
+def test_invalid_directory_count():
+    with pytest.raises(ValueError):
+        SpecWebFileset(directories=0)
+
+
+def test_total_bytes_scales_with_directories():
+    small = SpecWebFileset(directories=1).total_bytes()
+    assert SpecWebFileset(directories=4).total_bytes() == 4 * small
+
+
+def test_workload_mix_close_to_specweb(fileset):
+    generator = WorkloadGenerator(fileset, SeededRng(5))
+    counts = {kind: 0 for kind in OperationKind}
+    for _ in range(4000):
+        counts[generator.next_operation().kind] += 1
+    assert 0.65 < counts[OperationKind.STATIC_GET] / 4000 < 0.75
+    assert 0.20 < counts[OperationKind.DYNAMIC_GET] / 4000 < 0.30
+    assert 0.03 < counts[OperationKind.POST] / 4000 < 0.08
+
+
+def test_workload_deterministic_per_connection(fileset):
+    a = WorkloadGenerator(fileset, SeededRng(5)).for_connection(3)
+    b = WorkloadGenerator(fileset, SeededRng(5)).for_connection(3)
+    ops_a = [a.next_operation().request.path for _ in range(20)]
+    ops_b = [b.next_operation().request.path for _ in range(20)]
+    assert ops_a == ops_b
+    c = WorkloadGenerator(fileset, SeededRng(5)).for_connection(4)
+    ops_c = [c.next_operation().request.path for _ in range(20)]
+    assert ops_a != ops_c
+
+
+def test_static_operations_carry_checkable_truth(fileset):
+    generator = WorkloadGenerator(fileset, SeededRng(9))
+    for _ in range(100):
+        operation = generator.next_operation()
+        if operation.kind is OperationKind.STATIC_GET:
+            entry = fileset.entry(operation.request.path)
+            assert operation.expected_size == entry.size
+            assert operation.expected_content_id == entry.content_id
+        elif operation.kind is OperationKind.DYNAMIC_GET:
+            entry = fileset.entry(operation.request.path)
+            assert operation.expected_size == entry.size + 128
+            assert operation.request.dynamic
+        else:
+            assert operation.request.body_size == POST_BODY_BYTES
+
+
+def test_class_mix_respects_weights(fileset):
+    generator = WorkloadGenerator(fileset, SeededRng(6))
+    class_counts = [0, 0, 0, 0]
+    draws = 0
+    for _ in range(5000):
+        operation = generator.next_operation()
+        if operation.kind is OperationKind.POST:
+            continue
+        draws += 1
+        name = operation.request.path.rsplit("/", 1)[1]
+        class_counts[int(name[5])] += 1
+    assert class_counts[1] > class_counts[0] > class_counts[2]
+    assert class_counts[3] < draws * 0.03

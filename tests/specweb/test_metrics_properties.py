@@ -1,0 +1,76 @@
+"""Property tests for the metric reduction's byte attribution."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.specweb.metrics import MetricsCollector, OpRecord
+
+_op = st.tuples(
+    st.floats(min_value=0.1, max_value=59.9),   # completion time
+    st.floats(min_value=0.01, max_value=25.0),  # latency (span)
+    st.integers(min_value=1, max_value=500_000),  # bytes
+    st.integers(min_value=0, max_value=5),      # connection
+)
+
+
+@settings(max_examples=60)
+@given(st.lists(_op, min_size=1, max_size=40))
+def test_property_window_bytes_conserve_totals(ops):
+    """Spreading an op's bytes over windows never creates or destroys
+    bytes, as long as the windows cover every op's span."""
+    collector = MetricsCollector(6)
+    total_bytes = 0
+    for completed_at, latency, nbytes, connection in sorted(ops):
+        collector.record(OpRecord(
+            completed_at=completed_at,
+            connection_id=connection,
+            ok=True,
+            latency=min(latency, completed_at),  # span within [0, t]
+            bytes_received=nbytes,
+        ))
+        total_bytes += nbytes
+    windows = [(float(i), float(i + 1)) for i in range(60)]
+    attributed = collector._window_bytes(windows)
+    assert sum(attributed.values()) == pytest.approx(
+        total_bytes, rel=1e-6
+    )
+
+
+@settings(max_examples=60)
+@given(st.lists(_op, min_size=1, max_size=40))
+def test_property_truncated_windows_never_over_attribute(ops):
+    """With windows covering only part of the timeline, attributed bytes
+    can only shrink, never grow."""
+    collector = MetricsCollector(6)
+    total_bytes = 0
+    for completed_at, latency, nbytes, connection in sorted(ops):
+        collector.record(OpRecord(
+            completed_at=completed_at,
+            connection_id=connection,
+            ok=True,
+            latency=min(latency, completed_at),
+            bytes_received=nbytes,
+        ))
+        total_bytes += nbytes
+    partial = [(float(i), float(i + 1)) for i in range(0, 30)]
+    attributed = collector._window_bytes(partial)
+    assert sum(attributed.values()) <= total_bytes * (1 + 1e-9)
+
+
+def test_zero_byte_records_ignored():
+    collector = MetricsCollector(1)
+    collector.record(OpRecord(
+        completed_at=1.0, connection_id=0, ok=False,
+        latency=0.5, bytes_received=0, error_kind="timeout",
+    ))
+    assert collector._window_bytes([(0.0, 2.0)]) == {}
+
+
+def test_instantaneous_op_lands_in_its_window():
+    collector = MetricsCollector(1)
+    collector.record(OpRecord(
+        completed_at=1.5, connection_id=0, ok=True,
+        latency=0.0, bytes_received=1000,
+    ))
+    attributed = collector._window_bytes([(1.0, 2.0)])
+    assert attributed[(0, 0)] == pytest.approx(1000)

@@ -1,0 +1,38 @@
+"""Tests for the benchmark run rules."""
+
+from repro.specweb.rules import RunRules
+
+
+def test_paper_preset_matches_specweb99():
+    rules = RunRules.paper()
+    assert rules.warmup_seconds == 1200.0
+    assert rules.rampup_seconds == 300.0
+    assert rules.rampdown_seconds == 300.0
+    assert rules.iterations == 3
+    assert rules.slot_seconds == 10.0  # the paper's injection cadence
+
+
+def test_scaled_preserves_structure():
+    rules = RunRules.scaled()
+    assert rules.iterations == RunRules.paper().iterations
+    assert rules.slot_seconds == RunRules.paper().slot_seconds
+    assert rules.warmup_seconds < RunRules.paper().warmup_seconds
+
+
+def test_scaled_factor_scales_durations():
+    single = RunRules.scaled(factor=1.0)
+    double = RunRules.scaled(factor=2.0)
+    assert double.warmup_seconds == 2 * single.warmup_seconds
+    assert double.baseline_seconds == 2 * single.baseline_seconds
+    # Slot structure is cadence, not duration: unaffected by the factor.
+    assert double.slot_seconds == single.slot_seconds
+
+
+def test_rules_are_frozen():
+    import dataclasses
+
+    import pytest
+
+    rules = RunRules()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        rules.slot_seconds = 1.0

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_knows_all_subcommands():
+    parser = build_parser()
+    for command in ("scan", "profile", "faultload", "run", "tables"):
+        args = parser.parse_args(
+            [command] if command != "run" else ["run"]
+        )
+        assert args.command == command
+
+
+def test_scan_command_prints_counts(capsys):
+    assert main(["scan", "--os", "nt50"]) == 0
+    out = capsys.readouterr().out
+    assert "fault locations" in out
+    assert "MIA" in out
+
+
+def test_scan_command_writes_faultload(tmp_path, capsys):
+    output = tmp_path / "fl.json"
+    assert main(["scan", "--os", "nt51", "--output", str(output)]) == 0
+    from repro.faults.faultload import Faultload
+
+    faultload = Faultload.load(output)
+    assert faultload.os_codename == "nt51"
+    assert len(faultload) > 300
+
+
+def test_invalid_os_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["scan", "--os", "win95"])
+
+
+def test_run_defaults():
+    args = build_parser().parse_args(["run"])
+    assert args.server == "apache"
+    assert args.faults == 96
+    assert args.connections == 16

@@ -1,0 +1,241 @@
+"""Targeted fault-propagation scenarios.
+
+Each test injects one *specific* class of mutant and verifies the causal
+chain the benchmark results rest on: lock leaks hang multi-worker servers
+but spare single-owner ones, guard removals turn services into
+always-fail, lost frees leak until memory pressure shows, wrong-status
+mutants surface as client-visible errors, and supervised masters contain
+crash faults their unsupervised peers die from.
+"""
+
+import pytest
+
+from repro.faults.types import FaultType
+from repro.gswfit.injector import FaultInjector
+from repro.gswfit.scanner import scan_function
+from repro.harness.config import ExperimentConfig
+from repro.harness.machine import ServerMachine
+from repro.webservers.http import HttpRequest
+from repro.webservers.runtime import RuntimeState
+
+
+def _machine(server_name="apache"):
+    config = ExperimentConfig.smoke()
+    config.server_name = server_name
+    machine = ServerMachine(config)
+    assert machine.boot()
+    return machine
+
+
+def _location(module, function_name, fault_type, predicate=None):
+    import importlib
+
+    module_object = importlib.import_module(module)
+    locations = scan_function(
+        getattr(module_object, function_name), display_module="Ntdll"
+    )
+    for location in locations:
+        if location.fault_type is fault_type:
+            if predicate is None or predicate(location):
+                return location
+    raise AssertionError(
+        f"no {fault_type.value} site in {function_name}"
+    )
+
+
+def _drive(machine, requests=30, path="/dir00000/class1_2"):
+    outcomes = []
+    for _ in range(requests):
+        out = []
+        machine.runtime.deliver(HttpRequest("GET", path), out.append)
+        machine.run_for(0.5)
+        outcomes.append(out[0] if out else None)
+    return outcomes
+
+
+def _drive_burst(machine, bursts=5, width=8, path="/dir00000/class1_2"):
+    """Deliver ``width`` concurrent requests per burst (rotates workers)."""
+    outcomes = []
+    for _ in range(bursts):
+        pending = []
+        for _ in range(width):
+            out = []
+            machine.runtime.deliver(HttpRequest("GET", path), out.append)
+            pending.append(out)
+        machine.run_for(1.0)
+        outcomes.extend(out[0] if out else None for out in pending)
+    return outcomes
+
+
+def test_leave_mutant_hangs_multiworker_server():
+    """A no-op RtlLeaveCriticalSection leaks the log lock: the first
+    worker keeps recursing happily, every *other* worker blocks forever —
+    the mechanism behind Apache's high KNS in Table 5."""
+    machine = _machine("apache")
+    location = _location(
+        "repro.ossim.modules.ntdll50", "RtlLeaveCriticalSection",
+        FaultType.MIA,
+        predicate=lambda loc: "section_name is None" in loc.description,
+    )
+    injector = FaultInjector(os_instances=[machine.os_instance])
+    with injector.injected(location):
+        # Width 5 against 8 workers rotates which worker performs the
+        # batched log flush, so a *different* thread eventually runs into
+        # the leaked lock.
+        _drive_burst(machine, bursts=10, width=5)
+    assert machine.runtime.hung_workers() > 0
+    assert machine.runtime.state is RuntimeState.RUNNING  # alive, degraded
+    leaked = machine.runtime.ctx.sync.leaked_sections()
+    assert leaked, "the mutated Leave must have leaked a section"
+
+
+def test_guard_removal_turns_service_into_always_fail():
+    """MIA on NtReadFile's handle guard: every read fails, every GET 500s."""
+    machine = _machine("apache")
+    location = _location(
+        "repro.ossim.modules.ntdll50", "NtReadFile", FaultType.MIA,
+        predicate=lambda loc: "file_object is None" in loc.description,
+    )
+    injector = FaultInjector(os_instances=[machine.os_instance])
+    with injector.injected(location):
+        outcomes = _drive(machine, requests=10)
+    statuses = [o.status_code for o in outcomes if o is not None]
+    assert statuses and all(code == 500 for code in statuses)
+    # Restored: service is healthy again without any restart.
+    outcomes = _drive(machine, requests=5)
+    assert all(o is not None and o.ok for o in outcomes)
+
+
+def test_lost_free_leaks_heap_memory():
+    """MIFS removing RtlFreeUnicodeString's release block: every path
+    translation leaks its NT-path buffer."""
+    machine = _machine("abyss")  # abyss translates paths per request
+    location = _location(
+        "repro.ossim.modules.ntdll50", "RtlFreeUnicodeString",
+        FaultType.MIFS,
+        predicate=lambda loc: "heap_address" in loc.description,
+    )
+    injector = FaultInjector(os_instances=[machine.os_instance])
+    ctx = machine.runtime.ctx
+    _drive(machine, requests=5)
+    before = ctx.heap.live_blocks()
+    with injector.injected(location):
+        _drive(machine, requests=20)
+    leaked = ctx.heap.live_blocks() - before
+    assert leaked >= 15, f"expected ~1 leak per request, got {leaked}"
+
+
+def test_wrong_disposition_constant_changes_semantics():
+    """WVAV on CreateFileW's CREATE_NEW translation (1 -> 2): the log
+    files the server opens with OPEN_ALWAYS keep working, but opening an
+    existing file with CREATE_NEW semantics starts colliding."""
+    machine = _machine("abyss")
+    from repro.ossim.modules import kernel3250
+
+    locations = scan_function(
+        kernel3250.CreateFileW, display_module="Kernel32"
+    )
+    wvav = [loc for loc in locations
+            if loc.fault_type is FaultType.WVAV]
+    assert wvav, "CreateFileW must expose WVAV sites"
+    injector = FaultInjector(os_instances=[machine.os_instance])
+    for location in wvav:
+        with injector.injected(location):
+            outcomes = _drive(machine, requests=4)
+        # Whatever the perturbed constant does, the server must either
+        # keep serving or fail loudly — never wedge the harness.
+        assert len(outcomes) == 4
+
+
+def _find_crashing_location():
+    """A mutant that reliably crashes the per-request OS path."""
+    from repro.gswfit.scanner import scan_build
+    from repro.ossim.builds import NT50
+    from repro.ossim.context import SimKernel
+    from repro.ossim.dispatch import OsInstance
+    from repro.sim.errors import SimSegfault
+
+    # SetFilePointer is on every server's request path but on nobody's
+    # startup path, so a crash-inducing mutant here lets a supervised
+    # master actually respawn its child between request crashes.
+    hot = {"SetFilePointer"}
+    injector = FaultInjector()
+    for location in scan_build(NT50):
+        if location.function not in hot:
+            continue
+        kernel = SimKernel()
+        kernel.vfs.mkdir("/d", parents=True)
+        kernel.vfs.create_file("/d/f", size=100)
+        os_instance = OsInstance(NT50, kernel)
+        ctx = os_instance.new_process()
+        injector.os_instances = [os_instance]
+        with injector.injected(location):
+            try:
+                for _ in range(3):
+                    handle = ctx.api.CreateFileW("/d/f", "r", 3)
+                    if handle:
+                        ctx.api.SetFilePointer(handle, 0, 2)
+                        ctx.api.CloseHandle(handle)
+            except SimSegfault:
+                return location
+            except Exception:
+                continue
+    raise AssertionError("no crashing mutant found in hot functions")
+
+
+def test_supervised_master_contains_crash_fault():
+    """The same crash-inducing mutant: Apache self-restarts through it,
+    Abyss stays dead until repaired — the MIS asymmetry of Table 5."""
+    location = _find_crashing_location()
+
+    def crashes_with(server_name):
+        machine = _machine(server_name)
+        injector = FaultInjector(os_instances=[machine.os_instance])
+        with injector.injected(location):
+            _drive(machine, requests=8)
+            state = machine.runtime.state
+            crashes = machine.runtime.stats.crashes
+            self_restarts = machine.runtime.stats.self_restarts
+        return state, crashes, self_restarts
+
+    apache_state, apache_crashes, apache_restarts = crashes_with("apache")
+    abyss_state, abyss_crashes, _ = crashes_with("abyss")
+    assert apache_crashes > 0 and abyss_crashes > 0
+    assert abyss_state is RuntimeState.DEAD
+    assert apache_restarts > 0  # the master did its job at least once
+
+
+def test_corruption_blast_hits_later_not_instantly():
+    """Heap corruption from a bad free crashes a *later* operation —
+    the delayed-failure realism the blast-radius machinery provides."""
+    machine = _machine("apache")
+    ctx = machine.runtime.ctx
+    ctx.heap.mark_corrupted("test seed")
+    outcomes = _drive(machine, requests=12)
+    # Some requests succeed before the blast lands.
+    assert any(o is not None and o.ok for o in outcomes)
+    assert machine.runtime.stats.crashes >= 1
+
+
+def test_xp_faultload_does_not_apply_to_w2k():
+    """Site keys are per-module: an NT 5.1 location cannot resolve
+    against the 5.0 module — faultloads are OS-build specific, as in the
+    paper (one faultload per OS)."""
+    from repro.gswfit.mutator import MutantError, build_mutant
+    from repro.gswfit.scanner import scan_build
+    from repro.ossim.builds import NT51
+
+    location_51 = next(
+        loc for loc in scan_build(NT51)
+        if loc.function == "NtQueryAttributesFile"
+    )
+    assert "ntdll51" in location_51.module
+    hijacked = type(location_51)(
+        module="repro.ossim.modules.ntdll50",
+        display_module="Ntdll",
+        function=location_51.function,
+        fault_type=location_51.fault_type,
+        site_key=location_51.site_key,
+    )
+    with pytest.raises(MutantError):
+        build_mutant(hijacked)

@@ -1,0 +1,113 @@
+"""Enforcement of the FIT coding rules.
+
+The mutable OS modules must obey the style constraints that make code
+swapping safe and keep a mutant from hanging the host interpreter; these
+tests are the guardrail for anyone extending the FIT.
+"""
+
+import ast
+import inspect
+import textwrap
+
+import pytest
+
+from repro.ossim.builds import ALL_BUILDS
+
+_FIT_MODULES = sorted(
+    {
+        module
+        for build in ALL_BUILDS.values()
+        for module in build.fit_modules()
+    },
+    key=lambda module: module.__name__,
+)
+
+
+def _functions(module):
+    names = list(module.__exports__) + list(module.__internal__)
+    return [(name, getattr(module, name)) for name in names]
+
+
+@pytest.mark.parametrize(
+    "module", _FIT_MODULES, ids=lambda m: m.__name__.rsplit(".", 1)[-1]
+)
+class TestFitStyle:
+    def test_exports_and_internals_exist_and_are_functions(self, module):
+        for name, function in _functions(module):
+            assert callable(function), f"{name} is not callable"
+            assert function.__module__ == module.__name__
+
+    def test_no_while_loops(self, module):
+        """A mutated while-condition could hang the host interpreter."""
+        for name, function in _functions(module):
+            tree = ast.parse(textwrap.dedent(inspect.getsource(function)))
+            for node in ast.walk(tree):
+                assert not isinstance(node, (ast.While, ast.AsyncFor)), (
+                    f"{module.__name__}.{name} contains a while loop"
+                )
+
+    def test_no_closures_or_nested_defs(self, module):
+        for name, function in _functions(module):
+            assert function.__code__.co_freevars == (), (
+                f"{name} closes over variables"
+            )
+            tree = ast.parse(textwrap.dedent(inspect.getsource(function)))
+            for node in ast.walk(tree):
+                if node is tree.body[0]:
+                    continue
+                assert not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.Lambda)
+                ), f"{name} defines a nested function or lambda"
+
+    def test_no_decorators(self, module):
+        for name, function in _functions(module):
+            tree = ast.parse(textwrap.dedent(inspect.getsource(function)))
+            assert tree.body[0].decorator_list == [], (
+                f"{name} is decorated"
+            )
+
+    def test_ctx_is_first_parameter(self, module):
+        for name, function in _functions(module):
+            parameters = list(
+                inspect.signature(function).parameters
+            )
+            assert parameters, f"{name} takes no parameters"
+            first = parameters[0]
+            assert first in ("ctx", "char", "part", "string_object",
+                             "status", "value", "text"), (
+                f"{name}: unexpected first parameter {first!r}"
+            )
+
+    def test_functions_scannable(self, module):
+        """Every FIT function must parse standalone (getsource works)."""
+        from repro.gswfit.astutils import FunctionImage
+
+        for _name, function in _functions(module):
+            image = FunctionImage(function)
+            assert image.fdef.name == function.__name__
+
+
+def test_all_builds_share_common_core_exports():
+    core = {
+        "RtlAllocateHeap", "RtlFreeHeap", "NtCreateFile", "NtReadFile",
+        "NtClose", "RtlEnterCriticalSection", "RtlLeaveCriticalSection",
+        "CloseHandle", "ReadFile", "WriteFile", "SetFilePointer",
+        "GetLongPathNameW", "RtlDosPathNameToNtPathName_U",
+    }
+    for build in ALL_BUILDS.values():
+        assert core <= set(build.export_names())
+
+
+def test_link_order_later_module_wins():
+    build = ALL_BUILDS["nt50"]
+    # ReadFile exists only in kernel32; NtReadFile only in ntdll.
+    assert build.module_of("ReadFile") == "Kernel32"
+    assert build.module_of("NtReadFile") == "Ntdll"
+    assert build.module_of("NtTotallyFake") is None
+
+
+def test_base_costs_positive():
+    for build in ALL_BUILDS.values():
+        for name in build.export_names():
+            assert build.base_cost(name) > 0

@@ -1,0 +1,80 @@
+"""Documentation coverage: every public item carries a docstring.
+
+The library is meant to be adopted, so its public surface — every module,
+every exported class, every public function and method — must be
+documented.  This test walks the whole package and fails on any
+undocumented public item, keeping the guarantee durable as the code
+grows.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+# FIT modules carry module docstrings but deliberately terse function
+# bodies (the C-like style); their per-function docs are checked by the
+# scanner tests, and helpers prefixed with _ are internal anyway.
+_EXEMPT_PREFIXES = ()
+
+
+def _walk_modules():
+    modules = [repro]
+    for info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        if info.name == "repro.__main__":
+            continue  # executing the CLI entry point is not importable
+        modules.append(importlib.import_module(info.name))
+    return modules
+
+
+def test_every_module_has_a_docstring():
+    undocumented = [
+        module.__name__ for module in _walk_modules()
+        if not (module.__doc__ or "").strip()
+    ]
+    assert undocumented == []
+
+
+def test_every_public_class_and_function_documented():
+    missing = []
+    for module in _walk_modules():
+        for name in dir(module):
+            if name.startswith("_"):
+                continue
+            obj = getattr(module, name)
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-export; documented at its home
+            if not (obj.__doc__ or "").strip():
+                missing.append(f"{module.__name__}.{name}")
+    assert missing == [], f"undocumented public items: {missing}"
+
+
+def test_public_methods_documented_on_key_classes():
+    from repro.faults.faultload import Faultload
+    from repro.gswfit.injector import FaultInjector
+    from repro.harness.experiment import WebServerExperiment
+    from repro.profiling.usage import UsageTable
+    from repro.specweb.client import SpecWebClient
+    from repro.webservers.runtime import ServerRuntime
+
+    missing = []
+    for cls in (Faultload, FaultInjector, WebServerExperiment,
+                UsageTable, SpecWebClient, ServerRuntime):
+        for name, member in inspect.getmembers(
+            cls, predicate=inspect.isfunction
+        ):
+            if name.startswith("_"):
+                continue
+            if not (member.__doc__ or "").strip():
+                missing.append(f"{cls.__name__}.{name}")
+    assert missing == [], f"undocumented public methods: {missing}"
+
+
+def test_facade_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name

@@ -1,0 +1,55 @@
+"""Tests for HTTP message objects."""
+
+from repro.webservers.http import HttpRequest, HttpResponse
+
+
+def test_request_basics():
+    request = HttpRequest("GET", "/dir00000/class1_3")
+    assert not request.is_post
+    assert not request.dynamic
+    assert request.wire_size() > len(request.path)
+
+
+def test_post_request():
+    request = HttpRequest("POST", "/postlog/form", body_size=320)
+    assert request.is_post
+    assert request.wire_size() >= 320 + 180
+
+
+def test_dynamic_request_carries_query():
+    request = HttpRequest("GET", "/a", query="gen=1", dynamic=True)
+    assert request.dynamic
+    assert "gen=1" in repr(request)
+
+
+def test_response_ok_range():
+    assert HttpResponse(200).ok
+    assert HttpResponse(201).ok
+    assert not HttpResponse(404).ok
+    assert not HttpResponse(500).ok
+
+
+def test_response_reason_phrases():
+    assert HttpResponse(200).reason == "OK"
+    assert HttpResponse(404).reason == "Not Found"
+    assert HttpResponse(599).reason == "Unknown"
+
+
+def test_response_wire_size_includes_headers():
+    response = HttpResponse(200, content_length=1000)
+    assert response.wire_size() > 1000
+
+
+def test_error_response_factory():
+    response = HttpResponse.error(503, server_name="apache/2.0",
+                                  detail="queue full")
+    assert response.status_code == 503
+    assert not response.ok
+    assert response.content_length == 320
+    assert response.error_detail == "queue full"
+    assert response.buffer is None
+
+
+def test_negative_content_length_not_counted():
+    response = HttpResponse(200, content_length=-5)
+    assert response.wire_size() >= 0
