@@ -1,0 +1,125 @@
+"""Bench: the parallel campaign engine and the scan cache.
+
+Two claims, both load-bearing for production-scale campaigns:
+
+* **Equivalence + speedup** — a sharded campaign run with several
+  workers produces metrics bit-identical to the single-worker run, and
+  finishes faster (each worker simulates its shards concurrently).
+* **Scan caching** — the second scan of the same build through
+  :func:`repro.gswfit.cache.scan_build_cached` is >= 10x faster than a
+  cold scan (in-process memo; the disk tier additionally survives
+  process restarts, which is what the campaign workers hit).
+"""
+
+import os
+import time
+
+from _bench_common import bench_config
+
+from repro.gswfit.cache import clear_scan_cache, scan_build_cached
+from repro.gswfit.scanner import scan_build
+from repro.harness.campaign import ParallelCampaign
+from repro.ossim.builds import NT50, NT51
+
+CAMPAIGN_WORKERS = max(2, min(4, os.cpu_count() or 2))
+
+
+def _campaign_config():
+    config = bench_config("apache", "nt50")
+    config.rules = type(config.rules)(
+        warmup_seconds=5.0, rampup_seconds=2.0, rampdown_seconds=2.0,
+        iterations=2, slot_seconds=6.0, slot_gap_seconds=2.0,
+        baseline_seconds=30.0,
+    )
+    config.fault_sample = 48
+    return config
+
+
+def _run_campaign(workers):
+    config = _campaign_config()
+    started = time.perf_counter()
+    result = ParallelCampaign(config, workers=workers).run(
+        include_baseline=False, include_profile_mode=False
+    )
+    return result, time.perf_counter() - started
+
+
+def test_parallel_campaign_equivalence_and_speedup(benchmark):
+    def regenerate():
+        serial = _run_campaign(workers=1)
+        parallel = _run_campaign(workers=CAMPAIGN_WORKERS)
+        return serial, parallel
+
+    (serial, serial_s), (parallel, parallel_s) = benchmark.pedantic(
+        regenerate, rounds=1, iterations=1
+    )
+    print()
+    print(f"campaign wall-clock: workers=1 {serial_s:.1f}s, "
+          f"workers={CAMPAIGN_WORKERS} {parallel_s:.1f}s "
+          f"({serial_s / parallel_s:.2f}x on {os.cpu_count()} cpus)")
+    assert len(serial.iterations) == len(parallel.iterations)
+    for a, b in zip(serial.iterations, parallel.iterations):
+        assert a.metrics == b.metrics, (
+            "parallel campaign diverged from serial"
+        )
+        assert (a.mis, a.kns, a.kcp) == (b.mis, b.kns, b.kcp)
+        assert a.faults_injected == b.faults_injected
+    if (os.cpu_count() or 1) >= CAMPAIGN_WORKERS:
+        # Enough cores: the sharded run must actually be faster.
+        assert parallel_s < serial_s
+    else:
+        # Single-core host: no speedup is possible, so just bound the
+        # pool's overhead — the mechanism must stay near-free.
+        assert parallel_s < serial_s * 1.6
+
+
+def test_scan_cache_speedup(benchmark, tmp_path):
+    def regenerate():
+        clear_scan_cache()
+        timings = {}
+        started = time.perf_counter()
+        cold50 = scan_build(NT50)
+        cold51 = scan_build(NT51)
+        timings["cold"] = time.perf_counter() - started
+
+        clear_scan_cache()
+        started = time.perf_counter()
+        warm_a50 = scan_build_cached(NT50, cache_dir=tmp_path)
+        warm_a51 = scan_build_cached(NT51, cache_dir=tmp_path)
+        timings["first_through_cache"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm_b50 = scan_build_cached(NT50, cache_dir=tmp_path)
+        warm_b51 = scan_build_cached(NT51, cache_dir=tmp_path)
+        timings["second_through_cache"] = time.perf_counter() - started
+
+        clear_scan_cache()  # fresh process analogue: disk tier only
+        started = time.perf_counter()
+        disk50 = scan_build_cached(NT50, cache_dir=tmp_path)
+        timings["disk_reload"] = time.perf_counter() - started
+
+        faultloads = (cold50, warm_a50, warm_b50, disk50,
+                      cold51, warm_a51, warm_b51)
+        return timings, faultloads
+
+    timings, faultloads = benchmark.pedantic(
+        regenerate, rounds=1, iterations=1
+    )
+    cold50, warm_a50, warm_b50, disk50 = faultloads[:4]
+    cold51, warm_a51, warm_b51 = faultloads[4:]
+    for other in (warm_a50, warm_b50, disk50):
+        assert [l.fault_id for l in other] == [
+            l.fault_id for l in cold50
+        ]
+    assert [l.fault_id for l in warm_b51] == [
+        l.fault_id for l in cold51
+    ]
+    speedup = timings["cold"] / max(timings["second_through_cache"], 1e-9)
+    print()
+    print(f"scan: cold={timings['cold'] * 1000:.1f}ms  "
+          f"cached={timings['second_through_cache'] * 1000:.3f}ms  "
+          f"disk reload={timings['disk_reload'] * 1000:.1f}ms  "
+          f"speedup={speedup:.0f}x")
+    assert speedup >= 10.0, (
+        f"cached rescan only {speedup:.1f}x faster than cold"
+    )

@@ -6,6 +6,8 @@ Subcommands mirror the methodology's steps and the paper's exhibits:
 * ``profile``   — profiling phase: print the Table 2 analogue
 * ``faultload`` — full pipeline: scan + profile + fine-tune (Table 3 row)
 * ``run``       — one server/OS campaign (Table 5 rows)
+* ``campaign``  — the same campaign sharded across worker processes,
+  with scan caching and checkpoint/resume
 * ``tables``    — regenerate every table for a scaled campaign
 """
 
@@ -97,13 +99,7 @@ def _cmd_faultload(args):
     return 0
 
 
-def _cmd_run(args):
-    config = _make_config(
-        args, fault_sample=args.faults, connections=args.connections
-    )
-    config.server_name = args.server
-    experiment = WebServerExperiment(config)
-    result = experiment.run_campaign()
+def _print_campaign_result(args, config, result):
     build = get_build(args.os_codename)
     key = (build.display_name, args.server)
     print(table5_results({key: result}).render())
@@ -117,6 +113,42 @@ def _cmd_run(args):
         written = export_campaign(result, args.export, config=config)
         print(f"results exported: "
               f"{', '.join(str(path) for path in written)}")
+
+
+def _cmd_run(args):
+    config = _make_config(
+        args, fault_sample=args.faults, connections=args.connections
+    )
+    config.server_name = args.server
+    experiment = WebServerExperiment(config)
+    result = experiment.run_campaign()
+    _print_campaign_result(args, config, result)
+    return 0
+
+
+def _cmd_campaign(args):
+    from repro.harness.campaign import ParallelCampaign
+
+    if args.resume and not args.journal:
+        print("--resume requires --journal", file=sys.stderr)
+        return 2
+    config = _make_config(
+        args, fault_sample=args.faults, connections=args.connections
+    )
+    config.server_name = args.server
+    campaign = ParallelCampaign(
+        config,
+        workers=args.workers,
+        slots_per_shard=args.slots_per_shard,
+        journal_path=args.journal,
+        resume=args.resume,
+        cache_dir=args.cache_dir,
+    )
+    result = campaign.run()
+    print(f"campaign: {campaign.workers} worker(s), "
+          f"{config.rules.iterations} iteration(s), "
+          f"shard size {campaign.slots_per_shard} slots")
+    _print_campaign_result(args, config, result)
     return 0
 
 
@@ -234,6 +266,42 @@ def build_parser():
     run.add_argument("--connections", type=int, default=16)
     run.add_argument("--export", help="write results to this directory")
     run.set_defaults(func=_cmd_run)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="benchmark one server/OS pair in parallel, with "
+             "checkpoint/resume and scan caching",
+    )
+    _add_common(campaign)
+    campaign.add_argument(
+        "--server", default="apache", choices=server_names()
+    )
+    campaign.add_argument("--faults", type=int, default=96,
+                          help="faultload subsample size (0 = full)")
+    campaign.add_argument("--connections", type=int, default=16)
+    campaign.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: cpu count); results are "
+             "identical for any worker count",
+    )
+    campaign.add_argument(
+        "--slots-per-shard", type=int, default=None,
+        help="slots per worker shard "
+             "(default: one conformance batch)",
+    )
+    campaign.add_argument(
+        "--journal", help="JSONL checkpoint journal for this campaign"
+    )
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="skip units already recorded in --journal",
+    )
+    campaign.add_argument(
+        "--cache-dir", help="disk cache directory for build scans"
+    )
+    campaign.add_argument("--export",
+                          help="write results to this directory")
+    campaign.set_defaults(func=_cmd_campaign)
 
     oltp = subparsers.add_parser(
         "oltp", help="the OLTP case study (walnut vs breezy)"

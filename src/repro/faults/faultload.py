@@ -27,12 +27,17 @@ class Faultload:
         The fault locations, in scan order (deterministic).
     name:
         Optional label used in reports.
+    prepared:
+        Set (by the harness) once the config's sampling/interleaving has
+        been applied, so preparation is idempotent: a faultload prepared
+        by a campaign is not re-sampled when handed to a single run.
     """
 
-    def __init__(self, os_codename, locations=(), name=""):
+    def __init__(self, os_codename, locations=(), name="", prepared=False):
         self.os_codename = os_codename
         self.locations = list(locations)
         self.name = name or f"faultload-{os_codename}"
+        self.prepared = prepared
 
     def __len__(self):
         return len(self.locations)
@@ -96,26 +101,44 @@ class Faultload:
         follows the original scan order.
         """
         if count >= len(self.locations):
-            return Faultload(self.os_codename, self.locations,
-                             name=f"{self.name}-sampled")
+            kept = list(self.locations)
+            return Faultload(self.os_codename, kept,
+                             name=f"{self.name}-sampled{len(kept)}")
         rng = SeededRng(seed, label="faultload-sample")
         by_type = {}
         for location in self.locations:
             by_type.setdefault(location.fault_type, []).append(location)
         fraction = count / len(self.locations)
-        chosen = set()
+        picks_by_type = {}
         for fault_type in iter_fault_types():
             bucket = by_type.get(fault_type, [])
             take = max(1, round(len(bucket) * fraction)) if bucket else 0
             take = min(take, len(bucket))
-            for location in rng.sample(bucket, take):
-                chosen.add(location.fault_id)
+            if take:
+                picked = {loc.fault_id for loc in rng.sample(bucket, take)}
+                picks_by_type[fault_type] = [
+                    loc.fault_id for loc in bucket
+                    if loc.fault_id in picked
+                ]
+        # Stratified rounding may overshoot slightly.  Trim round-robin
+        # across fault types, always from a type currently holding the
+        # most picks: trimming the tail of scan order instead would drop
+        # whole types scanned last and break the stratification.
+        total = sum(len(ids) for ids in picks_by_type.values())
+        while total > count:
+            largest = max(len(ids) for ids in picks_by_type.values())
+            for fault_type in iter_fault_types():
+                ids = picks_by_type.get(fault_type)
+                if ids and len(ids) == largest:
+                    ids.pop()
+                    if not ids:
+                        del picks_by_type[fault_type]
+                    total -= 1
+                    break
+        chosen = {fid for ids in picks_by_type.values() for fid in ids}
         kept = [loc for loc in self.locations if loc.fault_id in chosen]
-        # Stratified rounding may overshoot slightly; trim deterministically.
-        if len(kept) > count:
-            kept = kept[:count]
         return Faultload(self.os_codename, kept,
-                         name=f"{self.name}-sampled{count}")
+                         name=f"{self.name}-sampled{len(kept)}")
 
     def interleave_types(self):
         """New faultload reordered to alternate fault types round-robin.
@@ -147,6 +170,7 @@ class Faultload:
         return {
             "name": self.name,
             "os_codename": self.os_codename,
+            "prepared": self.prepared,
             "locations": [loc.to_dict() for loc in self.locations],
         }
 
@@ -157,6 +181,7 @@ class Faultload:
             locations=[FaultLocation.from_dict(item)
                        for item in data["locations"]],
             name=data.get("name", ""),
+            prepared=data.get("prepared", False),
         )
 
     def to_json(self, indent=None):

@@ -24,15 +24,23 @@ from repro.gswfit.scanner import scan_build, scan_function, scan_module
 from repro.gswfit.mutator import build_mutant, mutated_source
 from repro.gswfit.injector import FaultInjector, FitBoundaryError
 from repro.gswfit.operators import operator_for, operator_library
+from repro.gswfit.cache import (
+    clear_scan_cache,
+    library_fingerprint,
+    scan_build_cached,
+)
 
 __all__ = [
     "FaultInjector",
     "FitBoundaryError",
     "build_mutant",
+    "clear_scan_cache",
+    "library_fingerprint",
     "mutated_source",
     "operator_for",
     "operator_library",
     "scan_build",
+    "scan_build_cached",
     "scan_function",
     "scan_module",
 ]

@@ -1,0 +1,115 @@
+"""Scan-result caching (G-SWFIT step 1 memoization).
+
+Scanning an OS build is pure analysis: the faultload it produces depends
+only on the build's module sources, the mutation-operator library, and
+the ``include_internal`` switch.  A campaign that boots dozens of worker
+machines therefore never needs more than one scan per build — yet the
+harness used to rescan from scratch on every call.  This module caches
+scans at two levels:
+
+* **in process** — a memo table keyed by the cache key below, so repeat
+  scans inside one run are free;
+* **on disk** — the faultload JSON persisted under a cache directory, so
+  repeat *runs* (and campaign worker processes) skip the scan entirely.
+
+The cache key is ``(build codename, library fingerprint,
+include_internal)``.  The fingerprint hashes the source of every mutation
+operator and every FIT module of the build, so editing either invalidates
+the cache automatically — stale entries are simply never looked up again
+(their key no longer matches) and can be garbage-collected at leisure.
+"""
+
+import hashlib
+import inspect
+from pathlib import Path
+
+from repro.faults.faultload import Faultload
+from repro.gswfit.operators import operator_library
+from repro.gswfit.scanner import scan_build
+
+__all__ = [
+    "cache_key",
+    "cache_path",
+    "clear_scan_cache",
+    "library_fingerprint",
+    "scan_build_cached",
+]
+
+_memory_cache = {}
+_fingerprint_cache = {}
+
+
+def library_fingerprint(build):
+    """Hash of everything a scan's output depends on, for one build.
+
+    Covers the source of the full operator library (search patterns and
+    preconditions shape the emitted sites) and the source of the build's
+    FIT modules (the code being scanned).
+    """
+    cached = _fingerprint_cache.get(build.codename)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    library = operator_library()
+    for fault_type in sorted(library, key=lambda ft: ft.value):
+        hasher.update(fault_type.value.encode("utf-8"))
+        hasher.update(
+            inspect.getsource(type(library[fault_type])).encode("utf-8")
+        )
+    for display_name, module in build.modules:
+        hasher.update(display_name.encode("utf-8"))
+        hasher.update(inspect.getsource(module).encode("utf-8"))
+    fingerprint = hasher.hexdigest()
+    _fingerprint_cache[build.codename] = fingerprint
+    return fingerprint
+
+
+def cache_key(build, include_internal=True):
+    """The tuple a cached scan is filed under."""
+    return (
+        build.codename,
+        library_fingerprint(build),
+        bool(include_internal),
+    )
+
+
+def cache_path(cache_dir, key):
+    """Disk location for one cache key (fingerprint is in the name)."""
+    codename, fingerprint, include_internal = key
+    scope = "all" if include_internal else "exports"
+    return (
+        Path(cache_dir)
+        / f"scan-{codename}-{scope}-{fingerprint[:16]}.json"
+    )
+
+
+def scan_build_cached(build, include_internal=True, cache_dir=None):
+    """:func:`~repro.gswfit.scanner.scan_build` behind the cache.
+
+    Returns a fresh :class:`Faultload` wrapper on every call (the
+    location records are shared — they are frozen), so callers may
+    derive/flag the result without poisoning the cache.
+    """
+    key = cache_key(build, include_internal)
+    faultload = _memory_cache.get(key)
+    if faultload is None and cache_dir is not None:
+        path = cache_path(cache_dir, key)
+        if path.exists():
+            faultload = Faultload.load(path)
+            _memory_cache[key] = faultload
+    if faultload is None:
+        faultload = scan_build(build, include_internal=include_internal)
+        _memory_cache[key] = faultload
+        if cache_dir is not None:
+            path = cache_path(cache_dir, key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            faultload.save(path)
+    return Faultload(
+        faultload.os_codename, faultload.locations, name=faultload.name
+    )
+
+
+def clear_scan_cache():
+    """Drop the in-process memo (the disk cache is left alone)."""
+    _memory_cache.clear()
+    _fingerprint_cache.clear()

@@ -14,6 +14,7 @@ from repro.harness.config import ExperimentConfig
 from repro.harness.machine import ServerMachine
 from repro.harness.watchdog import Watchdog
 from repro.harness.experiment import WebServerExperiment
+from repro.harness.campaign import ParallelCampaign
 from repro.harness.metrics import DependabilityMetrics
 from repro.harness.results import (
     BenchmarkResult,
@@ -26,6 +27,7 @@ __all__ = [
     "DependabilityMetrics",
     "ExperimentConfig",
     "InjectionIteration",
+    "ParallelCampaign",
     "ServerMachine",
     "Watchdog",
     "WebServerExperiment",

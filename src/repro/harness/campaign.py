@@ -1,0 +1,446 @@
+"""Parallel campaign engine.
+
+The paper's experiment is embarrassingly parallel: every injection slot
+is independent (the fault is removed and the server repaired between
+slots), so a campaign can be sharded across worker processes.  The unit
+of work is a **shard** — one contiguous run of ``slots_per_shard`` slots,
+by default exactly one SPECWeb conformance batch, so the conformance
+grouping of a sharded run matches a serial one.
+
+Determinism is the design constraint:
+
+* the shard plan depends only on the prepared faultload and the shard
+  size — never on the worker count;
+* each shard runs on a private :class:`ServerMachine` seeded from
+  ``derive_seed(config.seed, "campaign-shard", shard.index)``, so its
+  behaviour is independent of scheduling;
+* workers return :class:`~repro.specweb.metrics.MetricsPartial` sums,
+  which the parent merges in slot order (MIS/KNS/KCP and the per-shard
+  runtime stats are summed the same way).
+
+Consequently ``workers=N`` is bit-identical to ``workers=1`` for the
+same config and seed.
+
+**Checkpoint/resume**: when given a journal path the campaign appends
+one JSON line per completed unit (header, baseline/profile phases, and
+every ``(iteration, shard)``).  ``resume=True`` replays completed units
+from the journal — a campaign killed mid-iteration and resumed produces
+exactly the result of an uninterrupted run.
+"""
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+
+from repro.faults.faultload import Faultload
+from repro.gswfit.cache import scan_build_cached
+from repro.harness.experiment import WebServerExperiment
+from repro.harness.results import BenchmarkResult, InjectionIteration
+from repro.ossim.builds import get_build
+from repro.sim.rng import derive_seed
+from repro.specweb.metrics import MetricsPartial, SpecWebMetrics
+
+__all__ = [
+    "CampaignJournal",
+    "CampaignShard",
+    "ParallelCampaign",
+    "ShardOutcome",
+    "campaign_key",
+    "merge_outcomes",
+    "plan_shards",
+    "run_shard",
+]
+
+JOURNAL_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignShard:
+    """A contiguous run of injection slots (one worker task)."""
+
+    index: int
+    first_slot: int
+    locations: tuple
+
+    def __len__(self):
+        return len(self.locations)
+
+
+def plan_shards(faultload, slots_per_shard):
+    """Cut a prepared faultload into contiguous shards.
+
+    The plan is a pure function of the faultload order and the shard
+    size — the worker count never enters, which is what makes the merged
+    result independent of it.
+    """
+    if slots_per_shard < 1:
+        raise ValueError("slots_per_shard must be >= 1")
+    locations = list(faultload)
+    shards = []
+    for index, first in enumerate(range(0, len(locations),
+                                        slots_per_shard)):
+        shards.append(CampaignShard(
+            index=index,
+            first_slot=first,
+            locations=tuple(locations[first:first + slots_per_shard]),
+        ))
+    return shards
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+@dataclass
+class ShardOutcome:
+    """What one shard contributes to an iteration's merged result."""
+
+    shard_index: int
+    first_slot: int
+    num_slots: int
+    partial: MetricsPartial
+    mis: int
+    kns: int
+    kcp: int
+    faults_injected: int
+    runtime_stats: dict
+
+    def to_dict(self):
+        data = asdict(self)
+        data["partial"] = self.partial.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        data["partial"] = MetricsPartial.from_dict(data["partial"])
+        return cls(**data)
+
+
+def shard_seed(base_seed, shard_index):
+    """The seed family one shard's machine draws from."""
+    return derive_seed(base_seed, "campaign-shard", shard_index)
+
+
+def run_shard(config, iteration, shard):
+    """Run one shard's slots on a private machine (worker entry point).
+
+    Top-level so it pickles into a :class:`ProcessPoolExecutor`; it is
+    also what ``workers=1`` calls directly, keeping the two modes on one
+    code path.
+    """
+    shard_config = replace(config)
+    shard_config.seed = shard_seed(config.seed, shard.index)
+    faultload = Faultload(
+        config.os_codename,
+        shard.locations,
+        name=f"shard-{shard.index}",
+        prepared=True,
+    )
+    experiment = WebServerExperiment(shard_config)
+    machine, watchdog, windows, faults_injected = experiment.run_slots(
+        faultload, iteration=iteration
+    )
+    partial = machine.client.collector.compute_partial(
+        windows, conformance_group=config.conformance_slots
+    )
+    return ShardOutcome(
+        shard_index=shard.index,
+        first_slot=shard.first_slot,
+        num_slots=len(shard.locations),
+        partial=partial,
+        mis=watchdog.mis,
+        kns=watchdog.kns,
+        kcp=watchdog.kcp,
+        faults_injected=faults_injected,
+        runtime_stats=vars(machine.runtime.stats).copy(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Merge
+# ----------------------------------------------------------------------
+def merge_outcomes(outcomes, iteration, num_connections):
+    """Fold shard outcomes into one :class:`InjectionIteration`.
+
+    Outcomes are re-sorted by slot index first, so arrival order (which
+    *does* depend on scheduling) never leaks into the result.
+    """
+    ordered = sorted(outcomes, key=lambda outcome: outcome.first_slot)
+    partial = MetricsPartial.merge(
+        outcome.partial for outcome in ordered
+    )
+    runtime_stats = {}
+    for outcome in ordered:
+        for key, value in outcome.runtime_stats.items():
+            runtime_stats[key] = runtime_stats.get(key, 0) + value
+    # Key order must not depend on whether an outcome came from a live
+    # worker or a journal replay (JSON round-trips sort keys), or the
+    # exported campaign.json would differ byte-wise between the two.
+    runtime_stats = dict(sorted(runtime_stats.items()))
+    return InjectionIteration(
+        iteration=iteration,
+        metrics=partial.to_metrics(num_connections),
+        mis=sum(outcome.mis for outcome in ordered),
+        kns=sum(outcome.kns for outcome in ordered),
+        kcp=sum(outcome.kcp for outcome in ordered),
+        faults_injected=sum(
+            outcome.faults_injected for outcome in ordered
+        ),
+        runtime_stats=runtime_stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# Journal
+# ----------------------------------------------------------------------
+def campaign_key(config, faultload):
+    """Identity of one campaign: config + exact slot sequence."""
+    payload = json.dumps(
+        {
+            "config": asdict(config),
+            "faultload": [loc.fault_id for loc in faultload],
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class CampaignJournal:
+    """Append-only JSONL checkpoint of completed campaign units.
+
+    Line kinds:
+
+    * ``header`` — journal version + campaign key + shape metadata,
+      written once; resume refuses a journal whose key differs.
+    * ``phase``  — a completed baseline / profile-mode phase with its
+      :class:`SpecWebMetrics` fields.
+    * ``shard``  — a completed ``(iteration, shard)`` with its
+      :class:`ShardOutcome`.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.header = None
+        self.phases = {}
+        self.shards = {}
+
+    @classmethod
+    def load(cls, path):
+        journal = cls(path)
+        if not journal.path.exists():
+            return journal
+        with open(journal.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                entry = json.loads(line)
+                kind = entry.get("kind")
+                if kind == "header":
+                    journal.header = entry
+                elif kind == "phase":
+                    journal.phases[entry["phase"]] = SpecWebMetrics(
+                        **entry["metrics"]
+                    )
+                elif kind == "shard":
+                    journal.shards[
+                        (entry["iteration"], entry["shard"])
+                    ] = ShardOutcome.from_dict(entry["outcome"])
+        return journal
+
+    def _append(self, entry):
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True))
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def write_header(self, key, num_shards, iterations):
+        self.header = {
+            "kind": "header",
+            "version": JOURNAL_VERSION,
+            "campaign_key": key,
+            "num_shards": num_shards,
+            "iterations": iterations,
+        }
+        self._append(self.header)
+
+    def matches(self, key):
+        return (
+            self.header is not None
+            and self.header.get("campaign_key") == key
+            and self.header.get("version") == JOURNAL_VERSION
+        )
+
+    def record_phase(self, phase, metrics):
+        self.phases[phase] = metrics
+        self._append({
+            "kind": "phase",
+            "phase": phase,
+            "metrics": asdict(metrics),
+        })
+
+    def record_shard(self, iteration, outcome):
+        self.shards[(iteration, outcome.shard_index)] = outcome
+        self._append({
+            "kind": "shard",
+            "iteration": iteration,
+            "shard": outcome.shard_index,
+            "outcome": outcome.to_dict(),
+        })
+
+
+# ----------------------------------------------------------------------
+# The campaign
+# ----------------------------------------------------------------------
+class ParallelCampaign:
+    """One server/OS campaign, sharded across worker processes.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.harness.config.ExperimentConfig` to run.
+    workers:
+        Process count (default: ``os.cpu_count()``).  ``1`` runs every
+        shard in-process on the same code path.
+    slots_per_shard:
+        Shard size in slots; defaults to ``config.conformance_slots`` so
+        each shard is exactly one conformance batch.
+    journal_path / resume:
+        Checkpointing (see :class:`CampaignJournal`).
+    cache_dir:
+        Disk cache directory for the build scan (see
+        :mod:`repro.gswfit.cache`).
+    """
+
+    def __init__(self, config, workers=None, slots_per_shard=None,
+                 journal_path=None, resume=False, cache_dir=None):
+        self.config = config
+        self.workers = max(1, int(workers or os.cpu_count() or 1))
+        self.slots_per_shard = int(
+            slots_per_shard or config.conformance_slots
+        )
+        self.journal_path = journal_path
+        self.resume = resume
+        self.cache_dir = cache_dir
+        self.experiment = WebServerExperiment(config)
+
+    # ------------------------------------------------------------------
+    def prepared_faultload(self, faultload=None):
+        """Scan (through the cache) and prepare, exactly once."""
+        if faultload is None:
+            build = get_build(self.config.os_codename)
+            faultload = scan_build_cached(
+                build,
+                include_internal=self.config.include_internal_functions,
+                cache_dir=self.cache_dir,
+            )
+        return self.experiment.prepared_faultload(faultload)
+
+    def _open_journal(self, key, num_shards):
+        if self.journal_path is None:
+            return None
+        if self.resume:
+            journal = CampaignJournal.load(self.journal_path)
+            if journal.header is not None:
+                if not journal.matches(key):
+                    raise ValueError(
+                        f"journal {self.journal_path} belongs to a "
+                        "different campaign (config/faultload changed); "
+                        "delete it or drop --resume"
+                    )
+                return journal
+        else:
+            Path(self.journal_path).unlink(missing_ok=True)
+        journal = CampaignJournal(self.journal_path)
+        journal.write_header(
+            key, num_shards, self.config.rules.iterations
+        )
+        return journal
+
+    def _run_phase(self, journal, phase, runner):
+        if journal is not None and phase in journal.phases:
+            return journal.phases[phase]
+        metrics = runner()
+        if journal is not None:
+            journal.record_phase(phase, metrics)
+        return metrics
+
+    def _run_iteration(self, journal, shards, iteration, pool):
+        done = {}
+        if journal is not None:
+            for shard in shards:
+                outcome = journal.shards.get((iteration, shard.index))
+                if outcome is not None:
+                    done[shard.index] = outcome
+        todo = [shard for shard in shards if shard.index not in done]
+        if todo:
+            for outcome in self._execute(todo, iteration, pool):
+                done[outcome.shard_index] = outcome
+                if journal is not None:
+                    journal.record_shard(iteration, outcome)
+        return merge_outcomes(
+            done.values(), iteration, self.config.client.connections
+        )
+
+    def _execute(self, shards, iteration, pool):
+        if pool is None:
+            for shard in shards:
+                yield run_shard(self.config, iteration, shard)
+            return
+        futures = [
+            pool.submit(run_shard, self.config, iteration, shard)
+            for shard in shards
+        ]
+        for future in as_completed(futures):
+            yield future.result()
+
+    # ------------------------------------------------------------------
+    def run(self, faultload=None, include_baseline=True,
+            include_profile_mode=True):
+        """Run (or resume) the campaign; returns a BenchmarkResult."""
+        faultload = self.prepared_faultload(faultload)
+        shards = plan_shards(faultload, self.slots_per_shard)
+        key = campaign_key(self.config, faultload)
+        journal = self._open_journal(key, len(shards))
+        result = BenchmarkResult(
+            server_name=self.config.server_name,
+            os_codename=self.config.os_codename,
+            os_display=self.experiment.build.display_name,
+        )
+        if include_baseline:
+            result.baseline = self._run_phase(
+                journal, "baseline",
+                lambda: self.experiment.run_baseline(iteration=0),
+            )
+        if include_profile_mode:
+            result.profile_mode = self._run_phase(
+                journal, "profile_mode",
+                lambda: self.experiment.run_profile_mode(
+                    iteration=0, faultload=faultload
+                ),
+            )
+        # One pool for the whole campaign: fork cost is paid once, not
+        # once per iteration.
+        pool = None
+        try:
+            if self.workers > 1 and len(shards) > 1:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(shards))
+                )
+            for iteration in range(1, self.config.rules.iterations + 1):
+                result.add_iteration(
+                    self._run_iteration(journal, shards, iteration, pool)
+                )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        return result

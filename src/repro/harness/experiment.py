@@ -50,8 +50,13 @@ class WebServerExperiment:
         """Apply the config's sampling to a faultload (default: raw scan).
 
         Sampling is stratified per fault type and the result interleaved
-        so truncated runs keep type diversity.
+        so truncated runs keep type diversity.  Preparation is
+        idempotent: an already-prepared faultload (e.g. one a campaign
+        prepared before fanning out its runs) is returned unchanged
+        instead of being re-sampled.
         """
+        if faultload is not None and getattr(faultload, "prepared", False):
+            return faultload
         if faultload is None:
             faultload = self.raw_faultload()
         if self.config.fault_sample is not None:
@@ -59,6 +64,7 @@ class WebServerExperiment:
                 self.config.fault_sample, seed=self.config.seed
             )
             faultload = faultload.interleave_types()
+        faultload.prepared = True
         return faultload
 
     # ------------------------------------------------------------------
@@ -79,11 +85,14 @@ class WebServerExperiment:
         machine.run_for(rules.warmup_seconds + rules.rampup_seconds)
 
     def _measured_windows(self, start, duration, slot_seconds):
-        windows = []
-        t = start
-        while t + slot_seconds <= start + duration + 1e-9:
-            windows.append((t, t + slot_seconds))
-            t += slot_seconds
+        # Window edges come from the slot index, not a running float sum:
+        # accumulating ``t += slot_seconds`` drifts by an ulp per slot and
+        # long baselines could gain or lose a whole window.
+        count = int((duration + 1e-9) // slot_seconds)
+        windows = [
+            (start + i * slot_seconds, start + (i + 1) * slot_seconds)
+            for i in range(count)
+        ]
         if not windows:
             windows.append((start, start + duration))
         return windows
@@ -135,9 +144,15 @@ class WebServerExperiment:
             windows, conformance_group=self.config.conformance_slots
         )
 
-    def run_injection(self, faultload=None, iteration=0):
-        """One full pass over the faultload (one Table 5 iteration)."""
-        faultload = self.prepared_faultload(faultload)
+    def run_slots(self, faultload, iteration=0):
+        """Boot a machine and walk ``faultload`` slot by slot (Fig. 4).
+
+        Returns ``(machine, watchdog, windows, faults_injected)`` with
+        the client paused, the rampdown elapsed, and the watchdog
+        stopped — the raw state both :meth:`run_injection` and the
+        parallel campaign's shard workers reduce to metrics.  The
+        faultload is injected as given (no preparation).
+        """
         config = self.config
         rules = config.rules
         machine = self._boot_machine(iteration)
@@ -174,12 +189,22 @@ class WebServerExperiment:
                 watchdog.check_now()
                 machine.client.resume()
         finally:
+            # Even if a slot raises, leave the machine quiesced: faults
+            # detached, client paused, watchdog no longer polling.
             injector.restore_all()
-        machine.client.pause()
-        machine.run_for(rules.rampdown_seconds)
-        watchdog.stop()
+            machine.client.pause()
+            machine.run_for(rules.rampdown_seconds)
+            watchdog.stop()
+        return machine, watchdog, windows, faults_injected
+
+    def run_injection(self, faultload=None, iteration=0):
+        """One full pass over the faultload (one Table 5 iteration)."""
+        faultload = self.prepared_faultload(faultload)
+        machine, watchdog, windows, faults_injected = self.run_slots(
+            faultload, iteration=iteration
+        )
         metrics = machine.client.collector.compute(
-            windows, conformance_group=config.conformance_slots
+            windows, conformance_group=self.config.conformance_slots
         )
         return InjectionIteration(
             iteration=iteration,

@@ -89,12 +89,15 @@ class OltpExperiment:
     def prepared_faultload(self, faultload=None):
         from repro.gswfit.scanner import scan_build
 
+        if faultload is not None and getattr(faultload, "prepared", False):
+            return faultload
         if faultload is None:
             faultload = scan_build(self.build)
         if self.config.fault_sample is not None:
             faultload = faultload.sample(
                 self.config.fault_sample, seed=self.config.seed
             ).interleave_types()
+        faultload.prepared = True
         return faultload
 
     def domain_tuned_faultload(self, engines=("walnut", "breezy"),

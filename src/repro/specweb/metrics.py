@@ -20,7 +20,12 @@ from dataclasses import dataclass
 
 from repro.specweb.conformance import connection_conforms
 
-__all__ = ["MetricsCollector", "OpRecord", "SpecWebMetrics"]
+__all__ = [
+    "MetricsCollector",
+    "MetricsPartial",
+    "OpRecord",
+    "SpecWebMetrics",
+]
 
 
 @dataclass(frozen=True)
@@ -66,6 +71,94 @@ class SpecWebMetrics:
             f"THR={self.thr:.1f} RTM={self.rtm_ms:.1f}ms "
             f"ER%={self.er_percent:.2f}"
         )
+
+
+@dataclass(frozen=True)
+class MetricsPartial:
+    """Mergeable partial sums behind :class:`SpecWebMetrics`.
+
+    A campaign shard reduces its own windows to one partial; summing the
+    partials of all shards (in slot order) and converting the result is
+    how a parallel campaign reproduces the measures of a serial one.
+    Merging is associative over shard boundaries, so the worker count
+    never changes the merged numbers — only the shard plan does.
+    """
+
+    total_ops: int = 0
+    total_errors: int = 0
+    latency_sum: float = 0.0
+    latency_count: int = 0
+    conforming_sum: float = 0.0
+    group_count: int = 0
+    measured_seconds: float = 0.0
+
+    @classmethod
+    def merge(cls, partials):
+        """Sum partials (callers must pass them in slot order)."""
+        total_ops = total_errors = latency_count = group_count = 0
+        latency_sum = conforming_sum = measured_seconds = 0.0
+        for partial in partials:
+            total_ops += partial.total_ops
+            total_errors += partial.total_errors
+            latency_sum += partial.latency_sum
+            latency_count += partial.latency_count
+            conforming_sum += partial.conforming_sum
+            group_count += partial.group_count
+            measured_seconds += partial.measured_seconds
+        return cls(
+            total_ops=total_ops,
+            total_errors=total_errors,
+            latency_sum=latency_sum,
+            latency_count=latency_count,
+            conforming_sum=conforming_sum,
+            group_count=group_count,
+            measured_seconds=measured_seconds,
+        )
+
+    def to_metrics(self, num_connections):
+        """Reduce the sums to :class:`SpecWebMetrics`."""
+        spc = (
+            self.conforming_sum / self.group_count if self.group_count
+            else 0.0
+        )
+        thr = (
+            self.total_ops / self.measured_seconds
+            if self.measured_seconds > 0 else 0.0
+        )
+        rtm_ms = (
+            1000.0 * self.latency_sum / self.latency_count
+            if self.latency_count else 0.0
+        )
+        er_percent = (
+            100.0 * self.total_errors / self.total_ops
+            if self.total_ops else 0.0
+        )
+        cc_percent = 100.0 * spc / num_connections if num_connections else 0.0
+        return SpecWebMetrics(
+            spc=spc,
+            cc_percent=cc_percent,
+            thr=thr,
+            rtm_ms=rtm_ms,
+            er_percent=er_percent,
+            total_ops=self.total_ops,
+            total_errors=self.total_errors,
+            measured_seconds=self.measured_seconds,
+        )
+
+    def to_dict(self):
+        return {
+            "total_ops": self.total_ops,
+            "total_errors": self.total_errors,
+            "latency_sum": self.latency_sum,
+            "latency_count": self.latency_count,
+            "conforming_sum": self.conforming_sum,
+            "group_count": self.group_count,
+            "measured_seconds": self.measured_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
 
 
 class MetricsCollector:
@@ -155,6 +248,17 @@ class MetricsCollector:
         a group's duration.  Groups without any completed operation are
         skipped (nothing was being measured there).
         """
+        partial = self.compute_partial(
+            windows, conformance_group=conformance_group
+        )
+        return partial.to_metrics(self.num_connections)
+
+    def compute_partial(self, windows, conformance_group=1):
+        """The mergeable sums behind :meth:`compute`.
+
+        Campaign shard workers call this instead of :meth:`compute` so a
+        parent process can merge shards before the final reduction.
+        """
         total_ops = 0
         total_errors = 0
         latency_sum = 0.0
@@ -202,23 +306,12 @@ class MetricsCollector:
                 if connection_conforms(nbytes, group_seconds, ops, errors):
                     conforming += 1
             conforming_sum += conforming
-        spc = conforming_sum / group_count if group_count else 0.0
-        thr = total_ops / measured_seconds if measured_seconds > 0 else 0.0
-        rtm_ms = (
-            1000.0 * latency_sum / latency_count if latency_count else 0.0
-        )
-        er_percent = 100.0 * total_errors / total_ops if total_ops else 0.0
-        cc_percent = (
-            100.0 * spc / self.num_connections if self.num_connections
-            else 0.0
-        )
-        return SpecWebMetrics(
-            spc=spc,
-            cc_percent=cc_percent,
-            thr=thr,
-            rtm_ms=rtm_ms,
-            er_percent=er_percent,
+        return MetricsPartial(
             total_ops=total_ops,
             total_errors=total_errors,
+            latency_sum=latency_sum,
+            latency_count=latency_count,
+            conforming_sum=conforming_sum,
+            group_count=group_count,
             measured_seconds=measured_seconds,
         )

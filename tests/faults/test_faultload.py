@@ -136,3 +136,130 @@ def test_property_sample_size_bounds(count, seed):
     assert len(sampled) >= min(count, 1)
     ids = {loc.fault_id for loc in sampled}
     assert len(ids) == len(sampled)  # no duplicates
+
+
+def test_sample_trims_across_types_not_scan_tail():
+    """Rounding overshoot must not be paid by the types scanned last.
+
+    With 12 types of 4 locations each and count=13, per-type rounding
+    takes one of each (12) plus the largest remainder... the old code
+    trimmed ``kept[:count]``, deleting every pick of the last types in
+    scan order.  The round-robin trim instead drops from the types
+    holding the most picks, so every type stays represented.
+    """
+    locations = []
+    for index, fault_type in enumerate(iter_fault_types()):
+        for copy in range(4):
+            locations.append(make_location(index * 10 + copy, fault_type))
+    faultload = Faultload("nt50", locations)
+    for count in (18, 20, 32):  # counts where rounding overshoots
+        sampled = faultload.sample(count, seed=3)
+        assert len(sampled) == count
+        present = {loc.fault_type for loc in sampled}
+        assert present == set(iter_fault_types()), (
+            f"count={count} lost types {set(iter_fault_types()) - present}"
+        )
+        counts = sampled.counts_by_type().values()
+        assert max(counts) - min(counts) <= 1  # trim kept the balance
+    # Rounding may also *undershoot*; that is tolerated, never padded.
+    assert len(faultload.sample(13, seed=3)) == 12
+
+
+def test_sample_overshoot_is_trimmed_exactly(faultload):
+    # The fixture's type mix (1..12 per type) makes stratified rounding
+    # overshoot for most counts; the result must still be exact.
+    for count in (20, 24, 30, 40):
+        assert len(faultload.sample(count, seed=7)) == count
+
+
+def test_sample_naming_is_unified(faultload):
+    sampled = faultload.sample(20, seed=1)
+    assert sampled.name == f"{faultload.name}-sampled20"
+    identity = faultload.sample(10_000)
+    assert identity.name == f"{faultload.name}-sampled{len(faultload)}"
+
+
+def test_sample_deterministic_across_python_runs(faultload):
+    """The scan cache + journal rely on cross-process determinism."""
+    import subprocess
+    import sys
+
+    sampled = ",".join(
+        loc.fault_id for loc in faultload.sample(20, seed=5)
+    )
+    script = (
+        "from repro.faults.faultload import Faultload\n"
+        "from repro.faults.location import FaultLocation\n"
+        "from repro.faults.types import iter_fault_types\n"
+        "locations = []\n"
+        "for index, fault_type in enumerate(iter_fault_types()):\n"
+        "    for copy in range(index + 1):\n"
+        "        locations.append(FaultLocation(\n"
+        "            module='repro.ossim.modules.ntdll50',\n"
+        "            display_module='Ntdll',\n"
+        "            function=f'Func{copy % 3}',\n"
+        "            fault_type=fault_type,\n"
+        "            site_key=str(index * 100 + copy),\n"
+        "            lineno=index * 100 + copy,\n"
+        "            description=''))\n"
+        "fl = Faultload('nt50', locations, name='test')\n"
+        "print(','.join(l.fault_id for l in fl.sample(20, seed=5)))\n"
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, check=True,
+    ).stdout.strip()
+    assert output == sampled
+
+
+def test_interleave_types_is_idempotent(faultload):
+    once = faultload.interleave_types()
+    twice = once.interleave_types()
+    assert [l.fault_id for l in twice] == [l.fault_id for l in once]
+
+
+def test_interleave_types_round_robin_property(faultload):
+    """While k types still have entries, every consecutive k-block of
+    the interleaved order contains k distinct types."""
+    interleaved = list(faultload.interleave_types())
+    remaining = dict(faultload.counts_by_type())
+    position = 0
+    while position < len(interleaved):
+        active = sum(1 for value in remaining.values() if value > 0)
+        block = interleaved[position:position + active]
+        block_types = [loc.fault_type for loc in block]
+        assert len(set(block_types)) == len(block)
+        for fault_type in block_types:
+            remaining[fault_type] -= 1
+        position += active
+
+
+def test_interleave_preserves_order_within_type(faultload):
+    interleaved = faultload.interleave_types()
+    for fault_type in iter_fault_types():
+        original = [l.fault_id for l in faultload
+                    if l.fault_type == fault_type]
+        shuffled = [l.fault_id for l in interleaved
+                    if l.fault_type == fault_type]
+        assert shuffled == original
+
+
+def test_prepared_flag_roundtrips_json(faultload):
+    assert not faultload.prepared
+    faultload.prepared = True
+    restored = Faultload.from_json(faultload.to_json())
+    assert restored.prepared
+    assert not Faultload("nt50", []).prepared
+
+
+def test_save_load_preserves_every_field(tmp_path, faultload):
+    """The scan cache depends on save/load being lossless."""
+    faultload.prepared = True
+    path = tmp_path / "fl.json"
+    faultload.save(path)
+    restored = Faultload.load(path)
+    assert restored.name == faultload.name
+    assert restored.prepared == faultload.prepared
+    assert [l.to_dict() for l in restored] == [
+        l.to_dict() for l in faultload
+    ]

@@ -1,0 +1,240 @@
+"""Tests for the parallel campaign engine (tier-1).
+
+The load-bearing property: the merged result of a campaign is a pure
+function of (config, seed, faultload) — never of the worker count or of
+which units a resumed run replays from the journal.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.campaign import (
+    CampaignJournal,
+    ParallelCampaign,
+    ShardOutcome,
+    campaign_key,
+    merge_outcomes,
+    plan_shards,
+    run_shard,
+)
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import WebServerExperiment
+from repro.specweb.metrics import MetricsPartial
+
+
+def tiny_config(iterations=1, fault_sample=8):
+    config = ExperimentConfig.smoke()
+    config.fault_sample = fault_sample
+    config.rules = type(config.rules)(
+        warmup_seconds=3.0, rampup_seconds=1.0, rampdown_seconds=1.0,
+        iterations=iterations, slot_seconds=4.0, slot_gap_seconds=1.0,
+        baseline_seconds=12.0,
+    )
+    return config
+
+
+def iterations_equal(a, b):
+    assert a.metrics == b.metrics
+    assert (a.mis, a.kns, a.kcp) == (b.mis, b.kns, b.kcp)
+    assert a.faults_injected == b.faults_injected
+    assert a.runtime_stats == b.runtime_stats
+
+
+# ----------------------------------------------------------------------
+# Shard planning
+# ----------------------------------------------------------------------
+def test_plan_shards_is_contiguous_and_complete():
+    config = tiny_config()
+    faultload = WebServerExperiment(config).prepared_faultload()
+    shards = plan_shards(faultload, 3)
+    assert [s.first_slot for s in shards] == list(
+        range(0, len(faultload), 3)
+    )
+    flattened = [loc for shard in shards for loc in shard.locations]
+    assert [l.fault_id for l in flattened] == [
+        l.fault_id for l in faultload
+    ]
+
+
+def test_plan_shards_independent_of_worker_count():
+    config = tiny_config()
+    faultload = WebServerExperiment(config).prepared_faultload()
+    # The plan has no worker parameter at all — assert the shape is a
+    # pure function of (faultload, slots_per_shard).
+    a = plan_shards(faultload, 4)
+    b = plan_shards(faultload, 4)
+    assert a == b
+    with pytest.raises(ValueError):
+        plan_shards(faultload, 0)
+
+
+def test_shard_outcome_roundtrips_through_json():
+    outcome = ShardOutcome(
+        shard_index=3, first_slot=9, num_slots=3,
+        partial=MetricsPartial(total_ops=10, total_errors=1,
+                               latency_sum=1.25, latency_count=9,
+                               conforming_sum=4.0, group_count=1,
+                               measured_seconds=12.0),
+        mis=1, kns=0, kcp=2, faults_injected=3,
+        runtime_stats={"restarts": 2},
+    )
+    restored = ShardOutcome.from_dict(
+        json.loads(json.dumps(outcome.to_dict()))
+    )
+    assert restored == outcome
+
+
+def test_merge_outcomes_ignores_arrival_order():
+    def outcome(index, ops):
+        return ShardOutcome(
+            shard_index=index, first_slot=index * 2, num_slots=2,
+            partial=MetricsPartial(total_ops=ops, total_errors=0,
+                                   latency_sum=0.1 * ops,
+                                   latency_count=ops,
+                                   conforming_sum=1.0, group_count=1,
+                                   measured_seconds=8.0),
+            mis=index, kns=0, kcp=0, faults_injected=2,
+            runtime_stats={"ops": ops},
+        )
+
+    outcomes = [outcome(2, 30), outcome(0, 10), outcome(1, 20)]
+    merged = merge_outcomes(outcomes, iteration=1, num_connections=8)
+    shuffled = merge_outcomes(list(reversed(outcomes)), iteration=1,
+                              num_connections=8)
+    assert merged.metrics == shuffled.metrics
+    assert merged.metrics.total_ops == 60
+    assert merged.mis == 3
+    assert merged.runtime_stats == {"ops": 60}
+
+
+# ----------------------------------------------------------------------
+# Equivalence (the CI gate: workers=1 vs workers=2)
+# ----------------------------------------------------------------------
+def test_campaign_workers_1_and_2_bit_identical():
+    config = tiny_config(iterations=1)
+    serial = ParallelCampaign(config, workers=1).run(
+        include_baseline=False, include_profile_mode=False
+    )
+    parallel = ParallelCampaign(config, workers=2).run(
+        include_baseline=False, include_profile_mode=False
+    )
+    assert len(serial.iterations) == len(parallel.iterations) == 1
+    iterations_equal(serial.iterations[0], parallel.iterations[0])
+
+
+def test_campaign_merge_matches_manual_shard_runs():
+    config = tiny_config(iterations=1)
+    campaign = ParallelCampaign(config, workers=1)
+    faultload = campaign.prepared_faultload()
+    shards = plan_shards(faultload, campaign.slots_per_shard)
+    outcomes = [run_shard(config, 1, shard) for shard in shards]
+    manual = merge_outcomes(outcomes, 1, config.client.connections)
+    result = ParallelCampaign(config, workers=1).run(
+        include_baseline=False, include_profile_mode=False
+    )
+    iterations_equal(result.iterations[0], manual)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/resume
+# ----------------------------------------------------------------------
+def test_campaign_resume_after_kill_matches_uninterrupted(tmp_path):
+    config = tiny_config(iterations=2)
+    full_journal = tmp_path / "full.jsonl"
+    full = ParallelCampaign(
+        config, workers=1, journal_path=full_journal
+    ).run()
+    # Simulate a kill after iteration 1: drop every iteration-2 shard
+    # record from the journal, then resume.
+    survivors = []
+    for line in full_journal.read_text().splitlines():
+        entry = json.loads(line)
+        if entry.get("kind") == "shard" and entry["iteration"] > 1:
+            continue
+        survivors.append(line)
+    cut_journal = tmp_path / "cut.jsonl"
+    cut_journal.write_text("\n".join(survivors) + "\n")
+    resumed = ParallelCampaign(
+        config, workers=1, journal_path=cut_journal, resume=True
+    ).run()
+    assert resumed.baseline == full.baseline
+    assert resumed.profile_mode == full.profile_mode
+    assert len(resumed.iterations) == len(full.iterations) == 2
+    for a, b in zip(full.iterations, resumed.iterations):
+        iterations_equal(a, b)
+
+
+def test_campaign_journal_skips_completed_units(tmp_path, monkeypatch):
+    config = tiny_config(iterations=1)
+    journal_path = tmp_path / "campaign.jsonl"
+    ParallelCampaign(config, workers=1, journal_path=journal_path).run(
+        include_baseline=False, include_profile_mode=False
+    )
+    # On resume every shard is already journalled: the engine must not
+    # run a single new shard.
+    def boom(*args, **kwargs):
+        raise AssertionError("resume re-ran a completed shard")
+
+    monkeypatch.setattr("repro.harness.campaign.run_shard", boom)
+    resumed = ParallelCampaign(
+        config, workers=1, journal_path=journal_path, resume=True
+    ).run(include_baseline=False, include_profile_mode=False)
+    assert len(resumed.iterations) == 1
+
+
+def test_campaign_resume_rejects_foreign_journal(tmp_path):
+    config = tiny_config(iterations=1)
+    journal_path = tmp_path / "campaign.jsonl"
+    ParallelCampaign(config, workers=1, journal_path=journal_path).run(
+        include_baseline=False, include_profile_mode=False
+    )
+    other = tiny_config(iterations=1, fault_sample=6)
+    with pytest.raises(ValueError, match="different campaign"):
+        ParallelCampaign(
+            other, workers=1, journal_path=journal_path, resume=True
+        ).run(include_baseline=False, include_profile_mode=False)
+
+
+def test_campaign_key_sensitive_to_config_and_faultload():
+    config = tiny_config()
+    faultload = WebServerExperiment(config).prepared_faultload()
+    key = campaign_key(config, faultload)
+    assert key == campaign_key(config, faultload)
+    other = tiny_config()
+    other.seed = config.seed + 1
+    assert campaign_key(other, faultload) != key
+
+
+def test_journal_load_tolerates_missing_file(tmp_path):
+    journal = CampaignJournal.load(tmp_path / "nope.jsonl")
+    assert journal.header is None
+    assert journal.phases == {}
+    assert journal.shards == {}
+
+
+# ----------------------------------------------------------------------
+# Integration with the serial experiment
+# ----------------------------------------------------------------------
+def test_campaign_uses_prepared_faultload_once():
+    """The campaign's shards must cover exactly the prepared slots."""
+    config = tiny_config()
+    campaign = ParallelCampaign(config, workers=1)
+    prepared = campaign.prepared_faultload()
+    assert prepared.prepared
+    again = campaign.prepared_faultload(prepared)
+    assert again is prepared  # no re-sampling, no name mangling
+    shards = plan_shards(prepared, campaign.slots_per_shard)
+    assert sum(len(s) for s in shards) == len(prepared)
+
+
+def test_campaign_result_feeds_reporting():
+    from repro.harness.metrics import DependabilityMetrics
+    from repro.reporting.report import table5_results
+
+    config = tiny_config(iterations=1)
+    result = ParallelCampaign(config, workers=2).run()
+    rendered = table5_results({("W2k (sim)", "apache"): result}).render()
+    assert "apache" in rendered
+    metrics = DependabilityMetrics.from_results(result)
+    assert metrics.admf >= 0

@@ -157,6 +157,84 @@ def test_dependability_metrics_relative_views():
     assert data["ADMf"] == 9
 
 
+def test_prepared_faultload_is_idempotent(config):
+    """Regression: run_campaign prepared the faultload, then
+    run_profile_mode/run_injection prepared it *again*, re-applying
+    sample()+interleave_types() and mangling the name
+    (``...-sampledN-interleaved-sampledM-interleaved``)."""
+    experiment = WebServerExperiment(config)
+    once = experiment.prepared_faultload()
+    assert once.prepared
+    twice = experiment.prepared_faultload(once)
+    assert twice is once
+    assert [l.fault_id for l in twice] == [l.fault_id for l in once]
+    assert twice.name.count("-sampled") == 1
+    assert twice.name.count("-interleaved") == 1
+
+
+def test_campaign_and_single_run_see_same_slot_order(config):
+    """The slot order must not depend on who prepared the faultload."""
+    experiment = WebServerExperiment(config)
+    campaign_prepared = experiment.prepared_faultload()
+    # A single run handed the campaign's faultload must inject the very
+    # same slots in the very same order.
+    single_run_view = WebServerExperiment(config).prepared_faultload(
+        campaign_prepared
+    )
+    fresh = WebServerExperiment(config).prepared_faultload()
+    assert [l.fault_id for l in single_run_view] == [
+        l.fault_id for l in campaign_prepared
+    ] == [l.fault_id for l in fresh]
+
+
+def test_measured_windows_do_not_drift(config):
+    """Regression: accumulating ``t += slot_seconds`` in floating point
+    gained/lost a window on long baselines (0.1 repeats in binary)."""
+    experiment = WebServerExperiment(config)
+    windows = experiment._measured_windows(1000.0, 100.0, 0.1)
+    assert len(windows) == 1000
+    start, end = windows[-1]
+    assert start == 1000.0 + 999 * 0.1
+    assert end == 1000.0 + 1000 * 0.1
+    # Degenerate case: duration shorter than a slot -> one full window.
+    assert experiment._measured_windows(0.0, 3.0, 5.0) == [(0.0, 3.0)]
+
+
+def test_run_slots_quiesces_machine_even_on_error(config, monkeypatch):
+    """Regression: an exception mid-run left the watchdog polling (and
+    the client running) — run_slots must always quiesce in finally."""
+    import repro.harness.experiment as experiment_module
+    from repro.harness.watchdog import Watchdog
+
+    created = []
+
+    class RecordingWatchdog(Watchdog):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            created.append(self)
+
+    monkeypatch.setattr(experiment_module, "Watchdog", RecordingWatchdog)
+    experiment = WebServerExperiment(config)
+    faultload = experiment.prepared_faultload()
+
+    class Boom(RuntimeError):
+        pass
+
+    class ExplodingFaultload:
+        prepared = True
+
+        def __iter__(self):
+            yield faultload[0]
+            raise Boom()
+
+    with pytest.raises(Boom):
+        experiment.run_slots(ExplodingFaultload(), iteration=1)
+    assert len(created) == 1
+    watchdog = created[0]
+    assert not watchdog._running
+    assert watchdog._poll_event is None
+
+
 def test_profile_servers_returns_tracer_per_server(config):
     tracers = profile_servers(config, ["apache", "abyss"], seconds=5.0)
     assert set(tracers) == {"apache", "abyss"}
