@@ -143,11 +143,17 @@ def _cmd_campaign(args):
         journal_path=args.journal,
         resume=args.resume,
         cache_dir=args.cache_dir,
+        warm_mutants=not args.no_warm_mutants,
     )
     result = campaign.run()
     print(f"campaign: {campaign.workers} worker(s), "
           f"{config.rules.iterations} iteration(s), "
           f"shard size {campaign.slots_per_shard} slots")
+    if campaign.warmup_stats is not None:
+        stats = campaign.warmup_stats
+        print(f"mutant warm-up: {stats['compiled']} compiled, "
+              f"{stats['cached']} cached, {stats['failed']} failed "
+              f"of {stats['slots']} slots")
     _print_campaign_result(args, config, result)
     return 0
 
@@ -297,7 +303,12 @@ def build_parser():
         help="skip units already recorded in --journal",
     )
     campaign.add_argument(
-        "--cache-dir", help="disk cache directory for build scans"
+        "--cache-dir",
+        help="disk cache directory for build scans and compiled mutants",
+    )
+    campaign.add_argument(
+        "--no-warm-mutants", action="store_true",
+        help="skip the up-front mutant compilation pass",
     )
     campaign.add_argument("--export",
                           help="write results to this directory")

@@ -25,15 +25,20 @@ from repro.gswfit.mutator import build_mutant, mutated_source
 from repro.gswfit.injector import FaultInjector, FitBoundaryError
 from repro.gswfit.operators import operator_for, operator_library
 from repro.gswfit.cache import (
+    build_mutant_cached,
+    clear_mutant_cache,
     clear_scan_cache,
     library_fingerprint,
     scan_build_cached,
+    warm_mutant_cache,
 )
 
 __all__ = [
     "FaultInjector",
     "FitBoundaryError",
     "build_mutant",
+    "build_mutant_cached",
+    "clear_mutant_cache",
     "clear_scan_cache",
     "library_fingerprint",
     "mutated_source",
@@ -43,4 +48,5 @@ __all__ = [
     "scan_build_cached",
     "scan_function",
     "scan_module",
+    "warm_mutant_cache",
 ]

@@ -6,12 +6,22 @@ walk of the tree, so a site found during scanning can be relocated in a
 fresh deep copy during mutation, and — because the walk only depends on the
 source text — the same ``site_key`` resolves to the same construct across
 processes and runs.
+
+The image is built with a single breadth-first walk (byte-for-byte the
+order of :func:`ast.walk`) that records, per node: its walk position, its
+parent, and its class.  Everything the operator library repeatedly needs
+during a scan — position lookup, "all ``If`` nodes", "all statement
+blocks", "does this subtree transfer control", the function's local
+names — is answered from those side tables in O(1)/O(result) instead of
+re-walking the tree, which is what makes the single-pass scanner one
+traversal per function instead of one per operator.
 """
 
 import ast
 import copy
 import inspect
 import textwrap
+from collections import deque
 
 __all__ = [
     "FunctionImage",
@@ -20,13 +30,22 @@ __all__ = [
     "is_simple_constant_assign",
     "local_names",
     "node_contains",
+    "CONTROL_TRANSFER_TYPES",
     "INFRA_CALL_NAMES",
+    "STATEMENT_BLOCK_FIELDS",
 ]
 
 # Calls that belong to the simulation's accounting machinery rather than to
 # the OS logic being emulated; operators never target them (removing a CPU
 # charge is not a representative software fault).
 INFRA_CALL_NAMES = frozenset({"charge"})
+
+# Statements that transfer control out of the enclosing block; operators
+# use this to keep removal-style mutations within their fault class.
+CONTROL_TRANSFER_TYPES = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+# AST fields that hold statement lists (bodies, else/finally arms).
+STATEMENT_BLOCK_FIELDS = ("body", "orelse", "finalbody")
 
 
 class FunctionImage:
@@ -62,18 +81,102 @@ class FunctionImage:
             )
         self.fdef = self.tree.body[0]
         self.first_lineno = function.__code__.co_firstlineno
-        self._index = index_nodes(self.tree)
+        # One walk fills every index the scan needs: the position list
+        # (identical to ast.walk order), the O(1) position map, per-class
+        # buckets, and the parent map.
+        index = []
+        positions = {}
+        by_type = {}
+        parents = {}
+        todo = deque([self.tree])
+        while todo:
+            node = todo.popleft()
+            positions[id(node)] = len(index)
+            index.append(node)
+            try:
+                by_type[type(node)].append(node)
+            except KeyError:
+                by_type[type(node)] = [node]
+            for child in ast.iter_child_nodes(node):
+                parents[id(child)] = node
+                todo.append(child)
+        self._index = index
+        self._positions = positions
+        self._by_type = by_type
+        self._parents = parents
+        # Lazy caches (filled on first use; a mutant build never needs them).
+        self._blocks = None
+        self._transfer_marks = None
+        self._local_names = None
+        self._init_block_length = None
 
     def node_at(self, index):
         """Node at walk position ``index`` (scanner-time tree)."""
         return self._index[index]
 
     def index_of(self, node):
-        """Walk position of ``node`` (identity comparison)."""
-        for position, candidate in enumerate(self._index):
-            if candidate is node:
-                return position
-        raise ValueError("node not part of this image")
+        """Walk position of ``node`` (identity comparison, O(1))."""
+        position = self._positions.get(id(node))
+        if position is None or self._index[position] is not node:
+            raise ValueError("node not part of this image")
+        return position
+
+    def nodes_of_type(self, node_type):
+        """Every node of exactly ``node_type``, in walk order."""
+        return self._by_type.get(node_type, ())
+
+    def parent_of(self, node):
+        """Parent of ``node`` in the tree (None for the Module root)."""
+        return self._parents.get(id(node))
+
+    def statement_blocks(self):
+        """Every ``(block,)`` statement list of the function, walk order.
+
+        The first entry is always ``fdef.body``; blocks of the ``Module``
+        wrapper are excluded so the sequence matches a walk of the
+        function definition itself.
+        """
+        if self._blocks is None:
+            blocks = []
+            for node in self._index[1:]:
+                for field in STATEMENT_BLOCK_FIELDS:
+                    block = getattr(node, field, None)
+                    if isinstance(block, list):
+                        blocks.append(block)
+            self._blocks = blocks
+        return self._blocks
+
+    def subtree_has_transfer(self, node):
+        """True when ``node``'s subtree contains a control transfer.
+
+        Equivalent to walking the subtree looking for
+        :data:`CONTROL_TRANSFER_TYPES`, but answered from a one-time
+        ancestor marking of every transfer statement, so repeated queries
+        (one per ``if`` candidate) cost O(1).
+        """
+        if self._transfer_marks is None:
+            marked = set()
+            parents = self._parents
+            for candidate in self._index:
+                if isinstance(candidate, CONTROL_TRANSFER_TYPES):
+                    cursor = candidate
+                    while cursor is not None and id(cursor) not in marked:
+                        marked.add(id(cursor))
+                        cursor = parents.get(id(cursor))
+            self._transfer_marks = marked
+        return id(node) in self._transfer_marks
+
+    def local_names(self):
+        """Names bound inside the function (cached; see :func:`local_names`)."""
+        if self._local_names is None:
+            self._local_names = local_names(self.fdef)
+        return self._local_names
+
+    def init_block_length(self):
+        """Cached :func:`init_block_length` of the function body."""
+        if self._init_block_length is None:
+            self._init_block_length = init_block_length(self.fdef)
+        return self._init_block_length
 
     def absolute_lineno(self, node):
         """Absolute source line of ``node`` in the original file."""

@@ -1,38 +1,60 @@
-"""Scan-result caching (G-SWFIT step 1 memoization).
+"""Scan and mutant caching (G-SWFIT step 1 + step 2 memoization).
 
-Scanning an OS build is pure analysis: the faultload it produces depends
-only on the build's module sources, the mutation-operator library, and
-the ``include_internal`` switch.  A campaign that boots dozens of worker
-machines therefore never needs more than one scan per build — yet the
-harness used to rescan from scratch on every call.  This module caches
-scans at two levels:
+Both expensive halves of the pipeline are pure functions of source text:
 
-* **in process** — a memo table keyed by the cache key below, so repeat
-  scans inside one run are free;
-* **on disk** — the faultload JSON persisted under a cache directory, so
-  repeat *runs* (and campaign worker processes) skip the scan entirely.
+* **Scans** — the faultload an OS build produces depends only on the
+  build's module sources, the mutation-operator library, and the
+  ``include_internal`` switch.
+* **Mutants** — the code object a fault location compiles to depends
+  only on the target function's source and the operator implementing
+  the location's fault type.
 
-The cache key is ``(build codename, library fingerprint,
-include_internal)``.  The fingerprint hashes the source of every mutation
-operator and every FIT module of the build, so editing either invalidates
-the cache automatically — stale entries are simply never looked up again
-(their key no longer matches) and can be garbage-collected at leisure.
+A campaign therefore never needs more than one scan per build and one
+compilation per fault location — yet the harness used to redo both on
+every call/slot.  This module caches each at two levels:
+
+* **in process** — memo tables keyed by the fingerprints below, so
+  repeat scans/injections inside one run are free (and, because worker
+  processes fork from a warmed parent, free across a parallel
+  campaign's workers too);
+* **on disk** — the faultload JSON, and marshalled mutant code objects,
+  persisted under a cache directory so repeat *runs* and freshly
+  spawned worker processes skip the work entirely.
+
+The scan cache key is ``(build codename, library fingerprint,
+include_internal)``; the mutant cache key is ``(source fingerprint,
+fault_id)`` where the source fingerprint hashes the target function's
+current source plus the operator's implementation.  Fingerprints hash
+the source they depend on, so editing it invalidates the cache
+automatically — stale entries are simply never looked up again (their
+key no longer matches) and can be garbage-collected at leisure.
 """
 
 import hashlib
 import inspect
+import marshal
+import os
+import sys
+import types
 from pathlib import Path
 
 from repro.faults.faultload import Faultload
-from repro.gswfit.operators import operator_library
+from repro.gswfit.mutator import MutantError, build_mutant, resolve_function
+from repro.gswfit.operators import operator_for, operator_library
 from repro.gswfit.scanner import scan_build
 
 __all__ = [
+    "MUTANT_CACHE_STATS",
+    "build_mutant_cached",
     "cache_key",
     "cache_path",
+    "clear_mutant_cache",
     "clear_scan_cache",
     "library_fingerprint",
+    "mutant_cache_path",
+    "mutant_fingerprint",
     "scan_build_cached",
+    "warm_mutant_cache",
 ]
 
 _memory_cache = {}
@@ -113,3 +135,178 @@ def clear_scan_cache():
     """Drop the in-process memo (the disk cache is left alone)."""
     _memory_cache.clear()
     _fingerprint_cache.clear()
+
+
+# --------------------------------------------------------------------------
+# Mutant precompilation cache (step 2)
+# --------------------------------------------------------------------------
+
+_mutant_memory = {}
+# (module, function) -> (code object the fingerprint was taken from, fp).
+# Validity is checked by identity against the function's *current*
+# ``__code__``: a code swap back to the original (restore) keeps the memo
+# valid, a source edit / redefinition produces a new code object and the
+# fingerprint is recomputed.  This keeps the warm inject path free of
+# ``inspect.getsource`` + hashing.
+_source_fp_memo = {}
+_operator_fp_memo = {}
+
+
+class _MutantCacheStats:
+    """Counters for the mutant cache (reset with :func:`clear_mutant_cache`)."""
+
+    __slots__ = ("compiles", "memory_hits", "disk_hits")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.compiles = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+
+    def as_dict(self):
+        return {
+            "compiles": self.compiles,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+        }
+
+
+MUTANT_CACHE_STATS = _MutantCacheStats()
+
+
+def _operator_fingerprint(fault_type):
+    cached = _operator_fp_memo.get(fault_type)
+    if cached is None:
+        operator = operator_for(fault_type)
+        cached = hashlib.sha256(
+            inspect.getsource(type(operator)).encode("utf-8")
+        ).hexdigest()
+        _operator_fp_memo[fault_type] = cached
+    return cached
+
+
+def mutant_fingerprint(location, function=None):
+    """Hash of everything ``location``'s mutant code depends on.
+
+    Covers the target function's current source and the implementation of
+    the operator for the location's fault type.  The per-function source
+    hash is memoized against the function's ``__code__`` identity, so the
+    warm path never re-reads source files.
+    """
+    if function is None:
+        function = resolve_function(location)
+    key = (location.module, location.function)
+    memo = _source_fp_memo.get(key)
+    if memo is not None and memo[0] is function.__code__:
+        source_fp = memo[1]
+    else:
+        source_fp = hashlib.sha256(
+            inspect.getsource(function).encode("utf-8")
+        ).hexdigest()
+        _source_fp_memo[key] = (function.__code__, source_fp)
+    hasher = hashlib.sha256(source_fp.encode("ascii"))
+    hasher.update(_operator_fingerprint(location.fault_type).encode("ascii"))
+    return hasher.hexdigest()
+
+
+def mutant_cache_path(cache_dir, fingerprint, fault_id):
+    """Disk location of one precompiled mutant.
+
+    ``marshal`` output is only stable within one interpreter build, so the
+    implementation cache tag is folded into the name — a different Python
+    simply misses and recompiles.
+    """
+    digest = hashlib.sha256(
+        f"{sys.implementation.cache_tag}:{fingerprint}:{fault_id}"
+        .encode("utf-8")
+    ).hexdigest()[:24]
+    return Path(cache_dir) / f"mutant-{digest}.marshal"
+
+
+def _load_mutant_code(path):
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return None
+    try:
+        code = marshal.loads(data)
+    except (EOFError, ValueError, TypeError):
+        return None  # truncated/corrupt entry: recompile and overwrite
+    if not isinstance(code, types.CodeType):
+        return None
+    return code
+
+
+def _store_mutant_code(path, code):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    tmp.write_bytes(marshal.dumps(code))
+    os.replace(tmp, path)  # atomic: concurrent workers race benignly
+
+
+def build_mutant_cached(location, cache_dir=None):
+    """:func:`~repro.gswfit.mutator.build_mutant` behind the cache.
+
+    Returns the same ``(original_function, mutant_code)`` pair.  The code
+    object is compiled at most once per ``(source fingerprint, fault_id)``
+    — per process via the in-memory memo, per machine via the optional
+    ``cache_dir`` marshal tier shared by campaign worker processes.
+    """
+    function = resolve_function(location)
+    key = (mutant_fingerprint(location, function), location.fault_id)
+    code = _mutant_memory.get(key)
+    if code is not None:
+        MUTANT_CACHE_STATS.memory_hits += 1
+        return function, code
+    if cache_dir is not None:
+        code = _load_mutant_code(
+            mutant_cache_path(cache_dir, key[0], location.fault_id)
+        )
+        if code is not None:
+            MUTANT_CACHE_STATS.disk_hits += 1
+            _mutant_memory[key] = code
+            return function, code
+    function, code = build_mutant(location)
+    MUTANT_CACHE_STATS.compiles += 1
+    _mutant_memory[key] = code
+    if cache_dir is not None:
+        _store_mutant_code(
+            mutant_cache_path(cache_dir, key[0], location.fault_id), code
+        )
+    return function, code
+
+
+def warm_mutant_cache(faultload, cache_dir=None):
+    """Batch-compile every location of ``faultload`` into the cache.
+
+    A campaign calls this once after sampling, *before* spawning worker
+    processes: on fork-based platforms the workers inherit the warm
+    in-process memo outright, and with a ``cache_dir`` even spawn-based
+    workers (or later runs) pick the mutants up from disk.  Locations that
+    cannot be compiled are counted, not raised — the injection slot will
+    surface the error in context.
+    """
+    compiled = cached = failed = 0
+    for location in faultload:
+        before = MUTANT_CACHE_STATS.compiles
+        try:
+            build_mutant_cached(location, cache_dir=cache_dir)
+        except MutantError:
+            failed += 1
+            continue
+        if MUTANT_CACHE_STATS.compiles > before:
+            compiled += 1
+        else:
+            cached += 1
+    return {"slots": len(faultload), "compiled": compiled,
+            "cached": cached, "failed": failed}
+
+
+def clear_mutant_cache():
+    """Drop the in-process mutant memo and reset the stats counters."""
+    _mutant_memory.clear()
+    _source_fp_memo.clear()
+    _operator_fp_memo.clear()
+    MUTANT_CACHE_STATS.reset()

@@ -12,6 +12,12 @@ simply executes the faulty code.  Two guarantees are enforced:
   retained; :meth:`FaultInjector.restore_all` returns the OS to pristine
   state and is idempotent.
 
+Mutants come precompiled from the
+:mod:`~repro.gswfit.cache` mutant cache: a campaign compiles each fault
+location once (optionally warmed up-front and shared with worker
+processes), and every subsequent inject of the same location is a pair of
+dictionary lookups plus the code swap.
+
 ``profile_mode`` performs every step of an injection except the final code
 swap — the mechanism behind the paper's intrusiveness measurements
 (Table 4).
@@ -19,15 +25,32 @@ swap — the mechanism behind the paper's intrusiveness measurements
 
 from contextlib import contextmanager
 
-from repro.gswfit.mutator import build_mutant
+from repro.gswfit import cache as _cache
+from repro.gswfit.mutator import resolve_module
 
-__all__ = ["FaultInjector", "FitBoundaryError"]
+__all__ = ["FaultInjector", "FitBoundaryError", "check_fit_boundary"]
 
 DEFAULT_FIT_PREFIXES = ("repro.ossim.modules",)
 
 
 class FitBoundaryError(Exception):
     """Attempt to inject a fault outside the fault injection target."""
+
+
+def check_fit_boundary(module_name, fit_prefixes):
+    """Raise :class:`FitBoundaryError` unless ``module_name`` is FIT.
+
+    Shared by every injector flavour: the BT/FIT separation is the same
+    contract whether faults arrive as code swaps or intercepted returns.
+    """
+    for prefix in fit_prefixes:
+        if module_name == prefix or module_name.startswith(prefix + "."):
+            return
+    raise FitBoundaryError(
+        f"refusing to inject into {module_name!r}: outside the "
+        f"fault injection target {tuple(fit_prefixes)!r} — injecting "
+        f"into the benchmark target would invalidate the experiment"
+    )
 
 
 class FaultInjector:
@@ -43,31 +66,30 @@ class FaultInjector:
     profile_mode:
         When True, injections do all the work (mutant compilation
         included) but never swap code — used to measure intrusiveness.
+    mutant_cache_dir:
+        Optional directory for the on-disk mutant cache tier; the
+        in-process memo is always used.
     """
 
     def __init__(self, fit_prefixes=DEFAULT_FIT_PREFIXES,
-                 os_instances=(), profile_mode=False):
+                 os_instances=(), profile_mode=False,
+                 mutant_cache_dir=None):
         self.fit_prefixes = tuple(fit_prefixes)
         self.os_instances = list(os_instances)
         self.profile_mode = profile_mode
+        self.mutant_cache_dir = mutant_cache_dir
         self._originals = {}
         self._active = {}
+        # (module, function) -> number of active faults in that function,
+        # so restore() never has to rescan the active table.
+        self._active_counts = {}
         self.injection_count = 0
 
     # ------------------------------------------------------------------
     # Guards
     # ------------------------------------------------------------------
     def _check_boundary(self, location):
-        for prefix in self.fit_prefixes:
-            if location.module == prefix or location.module.startswith(
-                prefix + "."
-            ):
-                return
-        raise FitBoundaryError(
-            f"refusing to inject into {location.module!r}: outside the "
-            f"fault injection target {self.fit_prefixes!r} — injecting "
-            f"into the benchmark target would invalidate the experiment"
-        )
+        check_fit_boundary(location.module, self.fit_prefixes)
 
     def _sync_fault_mode(self):
         active = bool(self._active)
@@ -87,7 +109,9 @@ class FaultInjector:
         self._check_boundary(location)
         if location.fault_id in self._active:
             raise ValueError(f"fault already active: {location.fault_id}")
-        function, mutant_code = build_mutant(location)
+        function, mutant_code = _cache.build_mutant_cached(
+            location, cache_dir=self.mutant_cache_dir
+        )
         self.injection_count += 1
         if self.profile_mode:
             return
@@ -96,6 +120,7 @@ class FaultInjector:
             self._originals[key] = function.__code__
         function.__code__ = mutant_code
         self._active[location.fault_id] = location
+        self._active_counts[key] = self._active_counts.get(key, 0) + 1
         self._sync_fault_mode()
 
     def restore(self, location):
@@ -106,22 +131,23 @@ class FaultInjector:
             return
         del self._active[location.fault_id]
         key = (location.module, location.function)
-        still_mutated = any(
-            (loc.module, loc.function) == key
-            for loc in self._active.values()
-        )
-        if not still_mutated:
-            function, _ = _resolve(key)
+        remaining = self._active_counts[key] - 1
+        if remaining:
+            self._active_counts[key] = remaining
+        else:
+            del self._active_counts[key]
+            function = getattr(resolve_module(key[0]), key[1])
             function.__code__ = self._originals.pop(key)
         self._sync_fault_mode()
 
     def restore_all(self):
         """Return every mutated function to its original code."""
         for key, original in list(self._originals.items()):
-            function, _ = _resolve(key)
+            function = getattr(resolve_module(key[0]), key[1])
             function.__code__ = original
         self._originals.clear()
         self._active.clear()
+        self._active_counts.clear()
         self._sync_fault_mode()
 
     @contextmanager
@@ -139,11 +165,3 @@ class FaultInjector:
             f"FaultInjector(mode={mode}, active={len(self._active)}, "
             f"injected={self.injection_count})"
         )
-
-
-def _resolve(key):
-    import importlib
-
-    module_name, function_name = key
-    module = importlib.import_module(module_name)
-    return getattr(module, function_name), module

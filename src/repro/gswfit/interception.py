@@ -18,7 +18,7 @@ import ast
 from contextlib import contextmanager
 
 from repro.gswfit.astutils import FunctionImage
-from repro.gswfit.injector import DEFAULT_FIT_PREFIXES, FitBoundaryError
+from repro.gswfit.injector import DEFAULT_FIT_PREFIXES, check_fit_boundary
 from repro.gswfit.mutator import resolve_function
 
 __all__ = ["InterceptionFault", "InterceptionInjector"]
@@ -94,14 +94,7 @@ class InterceptionInjector:
         self._originals = {}
 
     def _check_boundary(self, fault):
-        for prefix in self.fit_prefixes:
-            if fault.module == prefix or fault.module.startswith(
-                prefix + "."
-            ):
-                return
-        raise FitBoundaryError(
-            f"refusing to intercept {fault.module!r}: outside the FIT"
-        )
+        check_fit_boundary(fault.module, self.fit_prefixes)
 
     def _stub_code(self, fault, function):
         image = FunctionImage(function, module_name=fault.module)

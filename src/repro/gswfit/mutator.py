@@ -9,6 +9,7 @@ shape-compatible with the original (same signature, no closure cells) so a
 
 import ast
 import importlib
+import sys
 
 from repro.gswfit.astutils import FunctionImage
 from repro.gswfit.operators import operator_for
@@ -19,6 +20,7 @@ __all__ = [
     "build_mutant",
     "mutated_source",
     "resolve_function",
+    "resolve_module",
 ]
 
 
@@ -26,9 +28,24 @@ class MutantError(Exception):
     """The fault location does not resolve to a buildable mutant."""
 
 
+def resolve_module(module_name):
+    """The live module object for ``module_name``.
+
+    ``sys.modules`` first: the FIT modules are always already imported
+    by the time anything injects into them, and the full import
+    machinery (finders, spec resolution, lock) is pure overhead on the
+    inject/restore hot path.  Falls back to a real import for a module
+    seen for the first time.
+    """
+    module = sys.modules.get(module_name)
+    if module is None:
+        module = importlib.import_module(module_name)
+    return module
+
+
 def resolve_function(location):
-    """Import and return the live function object for ``location``."""
-    module = importlib.import_module(location.module)
+    """Return the live function object for ``location``."""
+    module = resolve_module(location.module)
     function = getattr(module, location.function, None)
     if function is None:
         raise MutantError(

@@ -10,7 +10,11 @@ variables that are used later).
 """
 
 from repro.faults.types import FaultType
-from repro.gswfit.operators.base import MutationOperator, Site
+from repro.gswfit.operators.base import (
+    MutationOperator,
+    Site,
+    collect_sites,
+)
 from repro.gswfit.operators.assignment import (
     MissingVariableInitialization,
     MissingAssignmentWithValue,
@@ -35,6 +39,7 @@ from repro.gswfit.operators.interface import (
 __all__ = [
     "MutationOperator",
     "Site",
+    "collect_sites",
     "operator_for",
     "operator_library",
 ]

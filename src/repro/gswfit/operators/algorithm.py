@@ -3,7 +3,7 @@
 import ast
 
 from repro.faults.types import FaultType
-from repro.gswfit.astutils import init_block_length, is_infra_call
+from repro.gswfit.astutils import is_infra_call
 from repro.gswfit.operators.base import (
     MutationOperator,
     Site,
@@ -34,27 +34,22 @@ class MissingFunctionCall(MutationOperator):
     """
 
     fault_type = FaultType.MFC
+    node_types = (ast.Expr,)
 
-    def find_sites(self, image):
-        sites = []
-        for node in ast.walk(image.fdef):
-            if not _is_call_statement(node):
-                continue
-            if is_infra_call(node.value):
-                continue
-            call_text = ast.unparse(node.value)
-            sites.append(Site(
-                node_index=image.index_of(node),
-                description=f"remove call '{call_text}'",
-                lineno=image.absolute_lineno(node),
-            ))
-        return sites
+    def visit_node(self, image, node, state):
+        if not isinstance(node.value, ast.Call):
+            return ()
+        if is_infra_call(node.value):
+            return ()
+        call_text = ast.unparse(node.value)
+        return [Site(
+            node_index=image.index_of(node),
+            description=f"remove call '{call_text}'",
+            lineno=image.absolute_lineno(node),
+        )]
 
     def apply(self, tree, node_list, site):
         replace_statement(tree, node_list[site.node_index], [])
-
-
-_CONTROL_FLOW = (ast.Return, ast.Raise, ast.Break, ast.Continue)
 
 
 class MissingIfPlusStatements(MutationOperator):
@@ -67,33 +62,26 @@ class MissingIfPlusStatements(MutationOperator):
     """
 
     fault_type = FaultType.MIFS
+    node_types = (ast.If,)
 
     MAX_BODY = 5
 
-    def find_sites(self, image):
-        sites = []
-        for node in ast.walk(image.fdef):
-            if not isinstance(node, ast.If) or node.orelse:
-                continue
-            if not 1 <= len(node.body) <= self.MAX_BODY:
-                continue
-            has_transfer = False
-            for child in ast.walk(node):
-                if isinstance(child, _CONTROL_FLOW):
-                    has_transfer = True
-                    break
-            if has_transfer:
-                continue
-            condition = ast.unparse(node.test)
-            sites.append(Site(
-                node_index=image.index_of(node),
-                description=(
-                    f"remove 'if {condition}:' and its "
-                    f"{len(node.body)} statement(s)"
-                ),
-                lineno=image.absolute_lineno(node),
-            ))
-        return sites
+    def visit_node(self, image, node, state):
+        if node.orelse:
+            return ()
+        if not 1 <= len(node.body) <= self.MAX_BODY:
+            return ()
+        if image.subtree_has_transfer(node):
+            return ()
+        condition = ast.unparse(node.test)
+        return [Site(
+            node_index=image.index_of(node),
+            description=(
+                f"remove 'if {condition}:' and its "
+                f"{len(node.body)} statement(s)"
+            ),
+            lineno=image.absolute_lineno(node),
+        )]
 
     def apply(self, tree, node_list, site):
         replace_statement(tree, node_list[site.node_index], [])
@@ -126,36 +114,31 @@ class MissingLocalPartOfAlgorithm(MutationOperator):
     """
 
     fault_type = FaultType.MLPC
+    scans_blocks = True
 
-    def find_sites(self, image):
+    def begin_scan(self, image):
+        return image.init_block_length()
+
+    def visit_block(self, image, block, prefix):
+        start = prefix if block is image.fdef.body else 0
         sites = []
-        fdef = image.fdef
-        prefix = init_block_length(fdef)
-        blocks = []
-        blocks.append((fdef.body, prefix))
-        for node in ast.walk(fdef):
-            for field in ("body", "orelse", "finalbody"):
-                block = getattr(node, field, None)
-                if isinstance(block, list) and block is not fdef.body:
-                    blocks.append((block, 0))
-        for block, start in blocks:
+        run = []
+        for stmt in block[start:] + [None]:
+            if stmt is not None and _is_simple(stmt):
+                run.append(stmt)
+                continue
+            if len(run) >= 2 and any(_is_meaningful(s) for s in run):
+                count = min(len(run), MLPC_MAX_REMOVED)
+                sites.append(Site(
+                    node_index=image.index_of(run[0]),
+                    payload=str(count),
+                    description=(
+                        f"remove {count} consecutive statement(s) "
+                        f"starting with '{ast.unparse(run[0])}'"
+                    ),
+                    lineno=image.absolute_lineno(run[0]),
+                ))
             run = []
-            for stmt in block[start:] + [None]:
-                if stmt is not None and _is_simple(stmt):
-                    run.append(stmt)
-                    continue
-                if len(run) >= 2 and any(_is_meaningful(s) for s in run):
-                    count = min(len(run), MLPC_MAX_REMOVED)
-                    sites.append(Site(
-                        node_index=image.index_of(run[0]),
-                        payload=str(count),
-                        description=(
-                            f"remove {count} consecutive statement(s) "
-                            f"starting with '{ast.unparse(run[0])}'"
-                        ),
-                        lineno=image.absolute_lineno(run[0]),
-                    ))
-                run = []
         return sites
 
     def apply(self, tree, node_list, site):

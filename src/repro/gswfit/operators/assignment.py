@@ -4,7 +4,6 @@ import ast
 
 from repro.faults.types import FaultType
 from repro.gswfit.astutils import (
-    init_block_length,
     is_simple_constant_assign,
     node_contains,
 )
@@ -20,30 +19,6 @@ __all__ = [
     "MissingAssignmentWithExpression",
     "WrongValueAssigned",
 ]
-
-
-def _body_statements(fdef):
-    """Top-level body statements with their positions."""
-    return list(enumerate(fdef.body))
-
-
-def _name_read_later(fdef, name, after_stmt):
-    """True when ``name`` is read (Load) after statement ``after_stmt``."""
-    seen_anchor = False
-    for stmt in fdef.body:
-        if stmt is after_stmt:
-            seen_anchor = True
-            continue
-        if not seen_anchor:
-            continue
-        for node in ast.walk(stmt):
-            if (
-                isinstance(node, ast.Name)
-                and node.id == name
-                and isinstance(node.ctx, ast.Load)
-            ):
-                return True
-    return False
 
 
 def _constant_repr(value):
@@ -63,28 +38,46 @@ class MissingVariableInitialization(MutationOperator):
     """
 
     fault_type = FaultType.MVI
+    node_types = (ast.Assign,)
 
-    def find_sites(self, image):
-        sites = []
-        fdef = image.fdef
-        prefix = init_block_length(fdef)
-        for position, stmt in _body_statements(fdef):
-            if position >= prefix:
-                break
-            if not is_simple_constant_assign(stmt):
-                continue
-            name = stmt.targets[0].id
-            if not _name_read_later(fdef, name, stmt):
-                continue
-            sites.append(Site(
-                node_index=image.index_of(stmt),
-                description=(
-                    f"remove initialization '{name} = "
-                    f"{_constant_repr(stmt.value.value)}'"
-                ),
-                lineno=image.absolute_lineno(stmt),
-            ))
-        return sites
+    def begin_scan(self, image):
+        """Precompute, per top-level statement, the names read after it.
+
+        ``suffix[i]`` is the set of names ``Load``-read anywhere in body
+        statements ``i`` and later, so the "read later" precondition is a
+        set lookup instead of a walk per candidate.
+        """
+        body = image.fdef.body
+        suffix = [set()] * (len(body) + 1)
+        for position in range(len(body) - 1, -1, -1):
+            loads = set(suffix[position + 1])
+            for node in ast.walk(body[position]):
+                if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    loads.add(node.id)
+            suffix[position] = loads
+        positions = {id(stmt): i for i, stmt in enumerate(body)}
+        return image.init_block_length(), positions, suffix
+
+    def visit_node(self, image, node, state):
+        prefix, positions, suffix = state
+        position = positions.get(id(node))
+        if position is None or position >= prefix:
+            return ()
+        if not is_simple_constant_assign(node):
+            return ()
+        name = node.targets[0].id
+        if name not in suffix[position + 1]:
+            return ()
+        return [Site(
+            node_index=image.index_of(node),
+            description=(
+                f"remove initialization '{name} = "
+                f"{_constant_repr(node.value.value)}'"
+            ),
+            lineno=image.absolute_lineno(node),
+        )]
 
     def apply(self, tree, node_list, site):
         replace_statement(tree, node_list[site.node_index], [])
@@ -102,33 +95,31 @@ class MissingAssignmentWithValue(MutationOperator):
     """
 
     fault_type = FaultType.MVAV
+    node_types = (ast.Assign,)
 
-    def find_sites(self, image):
-        sites = []
-        fdef = image.fdef
-        prefix = init_block_length(fdef)
-        top_level = set()
-        for position, stmt in _body_statements(fdef):
-            if position < prefix:
-                top_level.add(id(stmt))
-        for node in ast.walk(fdef):
-            if not is_simple_constant_assign(node):
-                continue
-            if id(node) in top_level:
-                continue
-            value = node.value.value
-            if isinstance(value, bool) or not _is_interesting_constant(value):
-                continue
-            name = node.targets[0].id
-            sites.append(Site(
-                node_index=image.index_of(node),
-                description=(
-                    f"remove assignment '{name} = "
-                    f"{_constant_repr(node.value.value)}'"
-                ),
-                lineno=image.absolute_lineno(node),
-            ))
-        return sites
+    def begin_scan(self, image):
+        prefix = image.init_block_length()
+        return {
+            id(stmt) for stmt in image.fdef.body[:prefix]
+        }
+
+    def visit_node(self, image, node, state):
+        if not is_simple_constant_assign(node):
+            return ()
+        if id(node) in state:
+            return ()
+        value = node.value.value
+        if isinstance(value, bool) or not _is_interesting_constant(value):
+            return ()
+        name = node.targets[0].id
+        return [Site(
+            node_index=image.index_of(node),
+            description=(
+                f"remove assignment '{name} = "
+                f"{_constant_repr(node.value.value)}'"
+            ),
+            lineno=image.absolute_lineno(node),
+        )]
 
     def apply(self, tree, node_list, site):
         replace_statement(tree, node_list[site.node_index], [])
@@ -145,27 +136,23 @@ class MissingAssignmentWithExpression(MutationOperator):
     """
 
     fault_type = FaultType.MVAE
+    node_types = (ast.Assign,)
 
-    def find_sites(self, image):
-        sites = []
-        for node in ast.walk(image.fdef):
-            if not isinstance(node, ast.Assign):
-                continue
-            if isinstance(node.value, ast.Constant):
-                continue
-            if len(node.targets) != 1 or not isinstance(
-                node.targets[0], ast.Name
-            ):
-                continue
-            if node_contains(node.value, ast.Call):
-                continue
-            target_text = ast.unparse(node.targets[0])
-            sites.append(Site(
-                node_index=image.index_of(node),
-                description=f"remove assignment to '{target_text}'",
-                lineno=image.absolute_lineno(node),
-            ))
-        return sites
+    def visit_node(self, image, node, state):
+        if isinstance(node.value, ast.Constant):
+            return ()
+        if len(node.targets) != 1 or not isinstance(
+            node.targets[0], ast.Name
+        ):
+            return ()
+        if node_contains(node.value, ast.Call):
+            return ()
+        target_text = ast.unparse(node.targets[0])
+        return [Site(
+            node_index=image.index_of(node),
+            description=f"remove assignment to '{target_text}'",
+            lineno=image.absolute_lineno(node),
+        )]
 
     def apply(self, tree, node_list, site):
         replace_statement(tree, node_list[site.node_index], [])
@@ -213,26 +200,24 @@ class WrongValueAssigned(MutationOperator):
     """
 
     fault_type = FaultType.WVAV
+    node_types = (ast.Assign,)
 
-    def find_sites(self, image):
-        sites = []
-        for node in ast.walk(image.fdef):
-            if not is_simple_constant_assign(node):
-                continue
-            if not _is_interesting_constant(node.value.value):
-                continue
-            name = node.targets[0].id
-            old = node.value.value
-            new = perturb_constant(old)
-            sites.append(Site(
-                node_index=image.index_of(node),
-                description=(
-                    f"'{name} = {_constant_repr(old)}' becomes "
-                    f"'{name} = {_constant_repr(new)}'"
-                ),
-                lineno=image.absolute_lineno(node),
-            ))
-        return sites
+    def visit_node(self, image, node, state):
+        if not is_simple_constant_assign(node):
+            return ()
+        if not _is_interesting_constant(node.value.value):
+            return ()
+        name = node.targets[0].id
+        old = node.value.value
+        new = perturb_constant(old)
+        return [Site(
+            node_index=image.index_of(node),
+            description=(
+                f"'{name} = {_constant_repr(old)}' becomes "
+                f"'{name} = {_constant_repr(new)}'"
+            ),
+            lineno=image.absolute_lineno(node),
+        )]
 
     def apply(self, tree, node_list, site):
         node = node_list[site.node_index]

@@ -16,15 +16,6 @@ __all__ = [
 ]
 
 
-def _plain_ifs(image):
-    """All ``if`` statements without an else/elif arm, in walk order."""
-    result = []
-    for node in ast.walk(image.fdef):
-        if isinstance(node, ast.If) and not node.orelse and node.body:
-            result.append(node)
-    return result
-
-
 class MissingIfAroundStatements(MutationOperator):
     """MIA: drop the condition, keep the guarded statements.
 
@@ -36,17 +27,17 @@ class MissingIfAroundStatements(MutationOperator):
     """
 
     fault_type = FaultType.MIA
+    node_types = (ast.If,)
 
-    def find_sites(self, image):
-        sites = []
-        for node in _plain_ifs(image):
-            condition = ast.unparse(node.test)
-            sites.append(Site(
-                node_index=image.index_of(node),
-                description=f"remove condition 'if {condition}:' (keep body)",
-                lineno=image.absolute_lineno(node),
-            ))
-        return sites
+    def visit_node(self, image, node, state):
+        if node.orelse or not node.body:
+            return ()
+        condition = ast.unparse(node.test)
+        return [Site(
+            node_index=image.index_of(node),
+            description=f"remove condition 'if {condition}:' (keep body)",
+            lineno=image.absolute_lineno(node),
+        )]
 
     def apply(self, tree, node_list, site):
         node = node_list[site.node_index]
@@ -62,24 +53,22 @@ class MissingAndClause(MutationOperator):
     """
 
     fault_type = FaultType.MLAC
+    node_types = (ast.If,)
 
-    def find_sites(self, image):
+    def visit_node(self, image, node, state):
+        test = node.test
+        if not (isinstance(test, ast.BoolOp)
+                and isinstance(test.op, ast.And)):
+            return ()
         sites = []
-        for node in ast.walk(image.fdef):
-            if not isinstance(node, ast.If):
-                continue
-            test = node.test
-            if not (isinstance(test, ast.BoolOp)
-                    and isinstance(test.op, ast.And)):
-                continue
-            for position, operand in enumerate(test.values):
-                clause = ast.unparse(operand)
-                sites.append(Site(
-                    node_index=image.index_of(node),
-                    payload=str(position),
-                    description=f"remove 'and {clause}' from branch condition",
-                    lineno=image.absolute_lineno(node),
-                ))
+        for position, operand in enumerate(test.values):
+            clause = ast.unparse(operand)
+            sites.append(Site(
+                node_index=image.index_of(node),
+                payload=str(position),
+                description=f"remove 'and {clause}' from branch condition",
+                lineno=image.absolute_lineno(node),
+            ))
         return sites
 
     def apply(self, tree, node_list, site):
@@ -110,29 +99,31 @@ class WrongLogicalExpression(MutationOperator):
     """
 
     fault_type = FaultType.WLEC
+    node_types = (ast.If,)
 
-    def find_sites(self, image):
+    def begin_scan(self, image):
+        # Comparisons already claimed by an earlier ``if`` test, so a
+        # construct shared between tests yields exactly one site.
+        return set()
+
+    def visit_node(self, image, if_node, seen):
         sites = []
-        seen = set()
-        for if_node in ast.walk(image.fdef):
-            if not isinstance(if_node, ast.If):
+        for node in ast.walk(if_node.test):
+            if not isinstance(node, ast.Compare):
                 continue
-            for node in ast.walk(if_node.test):
-                if not isinstance(node, ast.Compare):
-                    continue
-                if id(node) in seen:
-                    continue
-                seen.add(id(node))
-                if len(node.ops) != 1:
-                    continue
-                if type(node.ops[0]) not in _SWAP:
-                    continue
-                old_text = ast.unparse(node)
-                sites.append(Site(
-                    node_index=image.index_of(node),
-                    description=f"boundary swap in '{old_text}'",
-                    lineno=image.absolute_lineno(if_node),
-                ))
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if len(node.ops) != 1:
+                continue
+            if type(node.ops[0]) not in _SWAP:
+                continue
+            old_text = ast.unparse(node)
+            sites.append(Site(
+                node_index=image.index_of(node),
+                description=f"boundary swap in '{old_text}'",
+                lineno=image.absolute_lineno(if_node),
+            ))
         return sites
 
     def apply(self, tree, node_list, site):

@@ -3,7 +3,7 @@
 import ast
 
 from repro.faults.types import FaultType
-from repro.gswfit.astutils import is_infra_call, local_names
+from repro.gswfit.astutils import is_infra_call
 from repro.gswfit.operators.base import MutationOperator, Site
 
 __all__ = [
@@ -34,26 +34,26 @@ class WrongArithmeticExpressionInParameter(MutationOperator):
     """
 
     fault_type = FaultType.WAEP
+    node_types = (ast.Call,)
 
-    def find_sites(self, image):
+    def visit_node(self, image, node, state):
+        if is_infra_call(node):
+            return ()
         sites = []
-        for node in ast.walk(image.fdef):
-            if not isinstance(node, ast.Call) or is_infra_call(node):
+        for position, arg in enumerate(node.args):
+            if not isinstance(arg, ast.BinOp):
                 continue
-            for position, arg in enumerate(node.args):
-                if not isinstance(arg, ast.BinOp):
-                    continue
-                if type(arg.op) not in _ARITH_SWAP:
-                    continue
-                sites.append(Site(
-                    node_index=image.index_of(node),
-                    payload=str(position),
-                    description=(
-                        f"perturb argument '{ast.unparse(arg)}' of "
-                        f"'{ast.unparse(node.func)}(...)'"
-                    ),
-                    lineno=image.absolute_lineno(node),
-                ))
+            if type(arg.op) not in _ARITH_SWAP:
+                continue
+            sites.append(Site(
+                node_index=image.index_of(node),
+                payload=str(position),
+                description=(
+                    f"perturb argument '{ast.unparse(arg)}' of "
+                    f"'{ast.unparse(node.func)}(...)'"
+                ),
+                lineno=image.absolute_lineno(node),
+            ))
         return sites
 
     def apply(self, tree, node_list, site):
@@ -74,42 +74,46 @@ class WrongVariableInParameter(MutationOperator):
     """
 
     fault_type = FaultType.WPFV
+    node_types = (ast.Call,)
 
     MIN_CALL_ARGS = 2
 
-    def find_sites(self, image):
-        sites = []
+    def begin_scan(self, image):
         names = sorted(
-            name for name in local_names(image.fdef)
+            name for name in image.local_names()
             if name not in _WPFV_EXCLUDED_NAMES
         )
         if len(names) < 2:
-            return sites
-        for node in ast.walk(image.fdef):
-            if not isinstance(node, ast.Call) or is_infra_call(node):
+            return None
+        return names
+
+    def visit_node(self, image, node, names):
+        if names is None:
+            return ()
+        if is_infra_call(node):
+            return ()
+        if len(node.args) < self.MIN_CALL_ARGS:
+            return ()
+        for position, arg in enumerate(node.args):
+            if not isinstance(arg, ast.Name):
                 continue
-            if len(node.args) < self.MIN_CALL_ARGS:
+            if arg.id in _WPFV_EXCLUDED_NAMES or arg.id not in names:
                 continue
-            for position, arg in enumerate(node.args):
-                if not isinstance(arg, ast.Name):
-                    continue
-                if arg.id in _WPFV_EXCLUDED_NAMES or arg.id not in names:
-                    continue
-                replacement = self._replacement_for(arg.id, names)
-                if replacement is None:
-                    continue
-                sites.append(Site(
-                    node_index=image.index_of(node),
-                    payload=f"{position}:{replacement}",
-                    description=(
-                        f"argument '{arg.id}' of "
-                        f"'{ast.unparse(node.func)}(...)' becomes "
-                        f"'{replacement}'"
-                    ),
-                    lineno=image.absolute_lineno(node),
-                ))
-                break  # one site per call keeps the WPFV share realistic
-        return sites
+            replacement = self._replacement_for(arg.id, names)
+            if replacement is None:
+                continue
+            # One site per call keeps the WPFV share realistic.
+            return [Site(
+                node_index=image.index_of(node),
+                payload=f"{position}:{replacement}",
+                description=(
+                    f"argument '{arg.id}' of "
+                    f"'{ast.unparse(node.func)}(...)' becomes "
+                    f"'{replacement}'"
+                ),
+                lineno=image.absolute_lineno(node),
+            )]
+        return ()
 
     @staticmethod
     def _replacement_for(current, names):

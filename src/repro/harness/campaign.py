@@ -36,7 +36,7 @@ from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 
 from repro.faults.faultload import Faultload
-from repro.gswfit.cache import scan_build_cached
+from repro.gswfit.cache import scan_build_cached, warm_mutant_cache
 from repro.harness.experiment import WebServerExperiment
 from repro.harness.results import BenchmarkResult, InjectionIteration
 from repro.ossim.builds import get_build
@@ -127,12 +127,14 @@ def shard_seed(base_seed, shard_index):
     return derive_seed(base_seed, "campaign-shard", shard_index)
 
 
-def run_shard(config, iteration, shard):
+def run_shard(config, iteration, shard, mutant_cache_dir=None):
     """Run one shard's slots on a private machine (worker entry point).
 
     Top-level so it pickles into a :class:`ProcessPoolExecutor`; it is
     also what ``workers=1`` calls directly, keeping the two modes on one
-    code path.
+    code path.  ``mutant_cache_dir`` is passed alongside the config (not
+    inside it) so the campaign key — a pure function of the experiment's
+    parameters — is unaffected by where a machine keeps its caches.
     """
     shard_config = replace(config)
     shard_config.seed = shard_seed(config.seed, shard.index)
@@ -144,7 +146,7 @@ def run_shard(config, iteration, shard):
     )
     experiment = WebServerExperiment(shard_config)
     machine, watchdog, windows, faults_injected = experiment.run_slots(
-        faultload, iteration=iteration
+        faultload, iteration=iteration, mutant_cache_dir=mutant_cache_dir
     )
     partial = machine.client.collector.compute_partial(
         windows, conformance_group=config.conformance_slots
@@ -317,12 +319,18 @@ class ParallelCampaign:
     journal_path / resume:
         Checkpointing (see :class:`CampaignJournal`).
     cache_dir:
-        Disk cache directory for the build scan (see
-        :mod:`repro.gswfit.cache`).
+        Disk cache directory for the build scan and the precompiled
+        mutants (see :mod:`repro.gswfit.cache`).
+    warm_mutants:
+        Batch-compile the sampled faultload's mutants once, up-front,
+        before any worker process exists (default True).  On fork-based
+        platforms every worker inherits the warm in-process memo; with a
+        ``cache_dir`` the compiled code objects are shared on disk too.
     """
 
     def __init__(self, config, workers=None, slots_per_shard=None,
-                 journal_path=None, resume=False, cache_dir=None):
+                 journal_path=None, resume=False, cache_dir=None,
+                 warm_mutants=True):
         self.config = config
         self.workers = max(1, int(workers or os.cpu_count() or 1))
         self.slots_per_shard = int(
@@ -331,6 +339,8 @@ class ParallelCampaign:
         self.journal_path = journal_path
         self.resume = resume
         self.cache_dir = cache_dir
+        self.warm_mutants = warm_mutants
+        self.warmup_stats = None
         self.experiment = WebServerExperiment(config)
 
     # ------------------------------------------------------------------
@@ -394,10 +404,12 @@ class ParallelCampaign:
     def _execute(self, shards, iteration, pool):
         if pool is None:
             for shard in shards:
-                yield run_shard(self.config, iteration, shard)
+                yield run_shard(self.config, iteration, shard,
+                                mutant_cache_dir=self.cache_dir)
             return
         futures = [
-            pool.submit(run_shard, self.config, iteration, shard)
+            pool.submit(run_shard, self.config, iteration, shard,
+                        self.cache_dir)
             for shard in shards
         ]
         for future in as_completed(futures):
@@ -408,6 +420,13 @@ class ParallelCampaign:
             include_profile_mode=True):
         """Run (or resume) the campaign; returns a BenchmarkResult."""
         faultload = self.prepared_faultload(faultload)
+        if self.warm_mutants:
+            # Compile every sampled mutant exactly once, before any
+            # worker process exists: fork-started workers inherit the
+            # warm memo, and the disk tier covers spawn-started ones.
+            self.warmup_stats = warm_mutant_cache(
+                faultload, cache_dir=self.cache_dir
+            )
         shards = plan_shards(faultload, self.slots_per_shard)
         key = campaign_key(self.config, faultload)
         journal = self._open_journal(key, len(shards))

@@ -144,20 +144,26 @@ class WebServerExperiment:
             windows, conformance_group=self.config.conformance_slots
         )
 
-    def run_slots(self, faultload, iteration=0):
+    def run_slots(self, faultload, iteration=0, mutant_cache_dir=None):
         """Boot a machine and walk ``faultload`` slot by slot (Fig. 4).
 
         Returns ``(machine, watchdog, windows, faults_injected)`` with
         the client paused, the rampdown elapsed, and the watchdog
         stopped — the raw state both :meth:`run_injection` and the
         parallel campaign's shard workers reduce to metrics.  The
-        faultload is injected as given (no preparation).
+        faultload is injected as given (no preparation).  Mutants come
+        from the precompilation cache; ``mutant_cache_dir`` additionally
+        enables its on-disk tier so separate worker processes share one
+        compilation pass.
         """
         config = self.config
         rules = config.rules
         machine = self._boot_machine(iteration)
         machine.set_injector_attached(True)
-        injector = FaultInjector(os_instances=[machine.os_instance])
+        injector = FaultInjector(
+            os_instances=[machine.os_instance],
+            mutant_cache_dir=mutant_cache_dir,
+        )
         watchdog = Watchdog(
             machine.sim,
             machine.runtime,

@@ -14,13 +14,26 @@ Each call through the table:
 3. invokes the live module-level function — whose ``__code__`` the G-SWFIT
    injector may have swapped for a mutant.
 
+The tracer check is resolved at *wrapper build time*, not per call: a
+table builds untraced wrappers (no tracer reference anywhere in the
+closure) until a tracer is attached, and :meth:`OsInstance.attach_tracer`
+rebuilds the wrappers of every live table when the tracer changes.
+Attaching or detaching is rare — once per profiling run — while the
+wrappers execute millions of times, so the steady state carries zero
+tracing overhead.  Built wrappers are also published into the table's
+instance dictionary, so repeat ``ctx.api.NtWriteFile`` lookups bypass
+``__getattr__`` entirely.
+
 Failure semantics: simulated machine conditions (``SimSegfault``,
 ``SimBlockedForever``, ``CpuBudgetExceeded``) always propagate.  Any *other*
 Python exception escaping OS code is a bug of ours when the OS is pristine
 (so it propagates loudly), but when a fault is currently injected it is the
 expected behaviour of broken native code and is converted to a simulated
-access violation.
+access violation.  ``fault_mode`` is read live — but only on the
+exceptional path, so it costs nothing per successful call.
 """
+
+import weakref
 
 from repro.sim.errors import (
     CpuBudgetExceeded,
@@ -29,6 +42,8 @@ from repro.sim.errors import (
 )
 
 __all__ = ["ApiTable", "OsInstance"]
+
+_PASSTHROUGH = (SimSegfault, SimBlockedForever, CpuBudgetExceeded)
 
 
 class OsInstance:
@@ -40,11 +55,21 @@ class OsInstance:
         self.tracer = None
         # Set by the fault injector while at least one mutation is applied.
         self.fault_mode = False
+        # Live API tables bound to this instance; weak so a dead process
+        # doesn't keep its table (and the table its ctx) alive.
+        self._tables = weakref.WeakSet()
         kernel.boot_count += 1
 
     def attach_tracer(self, tracer):
-        """Attach an API call tracer (None detaches)."""
+        """Attach an API call tracer (None detaches).
+
+        Every live table's wrappers are rebuilt for the new tracer state,
+        so processes created *before* the attach are traced too — and
+        stop paying for tracing the moment it is detached.
+        """
         self.tracer = tracer
+        for table in self._tables:
+            table._rebind()
 
     def new_process(self, cpu=None, name="process"):
         """Create a process with its API table already bound."""
@@ -59,24 +84,33 @@ class OsInstance:
 class ApiTable:
     """Per-process resolved view of an OS build's exports.
 
-    Attribute access returns a callable wrapper; wrappers are cached, and
-    they look the target function up on the *module object at call time*,
-    so an injected ``__code__`` swap is visible immediately even to
-    processes created before the injection.
+    Attribute access returns a callable wrapper; wrappers are cached (in
+    the instance dictionary, so only the first access runs
+    ``__getattr__``), and they call the live module-level function, so an
+    injected ``__code__`` swap is visible immediately even to processes
+    created before the injection.
     """
 
     def __init__(self, os_instance, ctx):
-        # Avoid __setattr__ recursion by writing through __dict__.
         self.__dict__["os"] = os_instance
         self.__dict__["ctx"] = ctx
         self.__dict__["_wrappers"] = {}
+        os_instance._tables.add(self)
 
     def __getattr__(self, name):
-        wrapper = self._wrappers.get(name)
-        if wrapper is None:
+        # Only reached for names not yet published into __dict__ (and
+        # never for real attributes/methods, which resolve normally).
+        wrapper = self._make_wrapper(name)
+        self._wrappers[name] = wrapper
+        self.__dict__[name] = wrapper
+        return wrapper
+
+    def _rebind(self):
+        """Rebuild every built wrapper for the current tracer state."""
+        for name in self._wrappers:
             wrapper = self._make_wrapper(name)
             self._wrappers[name] = wrapper
-        return wrapper
+            self.__dict__[name] = wrapper
 
     def has_export(self, name):
         return name in self.os.build.exports()
@@ -94,25 +128,43 @@ class ApiTable:
         base_cost = self.os.build.base_cost(name)
         os_instance = self.os
         ctx = self.ctx
+        tracer = os_instance.tracer
 
-        def call(*args, **kwargs):
-            tracer = os_instance.tracer
-            if tracer is not None:
-                tracer.record(module_display, name)
-            ctx.api_calls += 1
-            ctx.charge(base_cost)
-            try:
-                return function(ctx, *args, **kwargs)
-            except (SimSegfault, SimBlockedForever, CpuBudgetExceeded):
-                raise
-            except Exception as exc:
-                if os_instance.fault_mode:
-                    raise SimSegfault(
-                        f"fault in {module_display}!{name}: "
-                        f"{type(exc).__name__}: {exc}",
-                        cause=exc,
-                    ) from exc
-                raise
+        if tracer is None:
+            def call(*args, **kwargs):
+                ctx.api_calls += 1
+                ctx.charge(base_cost)
+                try:
+                    return function(ctx, *args, **kwargs)
+                except _PASSTHROUGH:
+                    raise
+                except Exception as exc:
+                    if os_instance.fault_mode:
+                        raise SimSegfault(
+                            f"fault in {module_display}!{name}: "
+                            f"{type(exc).__name__}: {exc}",
+                            cause=exc,
+                        ) from exc
+                    raise
+        else:
+            record = tracer.record
+
+            def call(*args, **kwargs):
+                record(module_display, name)
+                ctx.api_calls += 1
+                ctx.charge(base_cost)
+                try:
+                    return function(ctx, *args, **kwargs)
+                except _PASSTHROUGH:
+                    raise
+                except Exception as exc:
+                    if os_instance.fault_mode:
+                        raise SimSegfault(
+                            f"fault in {module_display}!{name}: "
+                            f"{type(exc).__name__}: {exc}",
+                            cause=exc,
+                        ) from exc
+                    raise
 
         call.__name__ = name
         call.__qualname__ = f"ApiTable.{name}"

@@ -1,0 +1,145 @@
+"""Tests for the mutant precompilation cache (tier-1).
+
+The load-bearing properties: a fault location is compiled exactly once
+per campaign no matter how many slots inject it, worker processes share
+one compilation pass through the disk tier, and the cache never changes
+what the injector actually swaps in.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.faults.faultload import Faultload
+from repro.gswfit import cache as cache_module
+from repro.gswfit.cache import (
+    MUTANT_CACHE_STATS,
+    build_mutant_cached,
+    clear_mutant_cache,
+    mutant_cache_path,
+    mutant_fingerprint,
+    warm_mutant_cache,
+)
+from repro.gswfit.injector import FaultInjector
+from repro.gswfit.mutator import build_mutant
+from repro.gswfit.scanner import scan_build
+from repro.ossim.builds import NT50
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_mutant_cache()
+    yield
+    clear_mutant_cache()
+
+
+@pytest.fixture(scope="module")
+def faultload():
+    return scan_build(NT50)
+
+
+def test_cached_mutant_equals_direct_build(faultload):
+    location = faultload.locations[0]
+    function, direct = build_mutant(location)
+    cached_function, cached = build_mutant_cached(location)
+    assert cached_function is function
+    assert cached.co_code == direct.co_code
+    assert cached.co_filename == direct.co_filename
+    assert cached.co_argcount == direct.co_argcount
+
+
+def test_three_slot_campaign_compiles_once(faultload, monkeypatch):
+    """The compile-counter probe: inject/restore three slots over the
+    same location and observe exactly one mutant compilation."""
+    calls = []
+    real = cache_module.build_mutant
+
+    def counting(location):
+        calls.append(location.fault_id)
+        return real(location)
+
+    monkeypatch.setattr(cache_module, "build_mutant", counting)
+    location = faultload.locations[0]
+    injector = FaultInjector()
+    for _ in range(3):
+        injector.inject(location)
+        injector.restore(location)
+    assert calls == [location.fault_id]
+    assert MUTANT_CACHE_STATS.memory_hits == 2
+
+
+def test_fingerprint_separates_fault_types_on_one_function(faultload):
+    by_function = {}
+    for location in faultload:
+        by_function.setdefault(
+            (location.module, location.function), []
+        ).append(location)
+    pair = next(
+        locations for locations in by_function.values()
+        if len({loc.fault_type for loc in locations}) >= 2
+    )
+    a, b = pair[0], next(
+        loc for loc in pair if loc.fault_type != pair[0].fault_type
+    )
+    assert mutant_fingerprint(a) == mutant_fingerprint(a)
+    assert mutant_fingerprint(a) != mutant_fingerprint(b)
+
+
+def test_warm_mutant_cache_compiles_each_location_once(faultload):
+    small = Faultload(
+        faultload.os_codename, faultload.locations[:6], name="small"
+    )
+    first = warm_mutant_cache(small)
+    assert first == {"slots": 6, "compiled": 6, "cached": 0, "failed": 0}
+    second = warm_mutant_cache(small)
+    assert second == {"slots": 6, "compiled": 0, "cached": 6, "failed": 0}
+
+
+def test_disk_tier_survives_memory_clear(faultload, tmp_path):
+    location = faultload.locations[0]
+    build_mutant_cached(location, cache_dir=tmp_path)
+    path = mutant_cache_path(
+        tmp_path, mutant_fingerprint(location), location.fault_id
+    )
+    assert path.exists()
+    clear_mutant_cache()
+    build_mutant_cached(location, cache_dir=tmp_path)
+    assert MUTANT_CACHE_STATS.as_dict() == {
+        "compiles": 0, "memory_hits": 0, "disk_hits": 1
+    }
+
+
+def test_corrupt_disk_entry_recompiles(faultload, tmp_path):
+    location = faultload.locations[0]
+    build_mutant_cached(location, cache_dir=tmp_path)
+    path = mutant_cache_path(
+        tmp_path, mutant_fingerprint(location), location.fault_id
+    )
+    path.write_bytes(b"not a marshalled code object")
+    clear_mutant_cache()
+    function, code = build_mutant_cached(location, cache_dir=tmp_path)
+    assert MUTANT_CACHE_STATS.compiles == 1
+    assert code.co_argcount == function.__code__.co_argcount
+
+
+def _worker_compile_stats(location, cache_dir):
+    # Runs in a worker process.  Drop any state inherited through fork so
+    # the only way to avoid compiling is the on-disk tier.
+    clear_mutant_cache()
+    build_mutant_cached(location, cache_dir=cache_dir)
+    return MUTANT_CACHE_STATS.as_dict()
+
+
+def test_worker_processes_share_one_compilation_pass(faultload, tmp_path):
+    """A parent warm-up means fresh worker processes compile nothing."""
+    sample = faultload.locations[:4]
+    for location in sample:
+        build_mutant_cached(location, cache_dir=tmp_path)
+    assert MUTANT_CACHE_STATS.compiles == len(sample)
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        results = list(pool.map(
+            _worker_compile_stats, sample, [tmp_path] * len(sample)
+        ))
+    for stats in results:
+        assert stats["compiles"] == 0
+        assert stats["disk_hits"] == 1

@@ -123,6 +123,38 @@ def test_campaign_workers_1_and_2_bit_identical():
     iterations_equal(serial.iterations[0], parallel.iterations[0])
 
 
+def test_campaign_workers_1_and_2_bit_identical_with_mutant_cache(tmp_path):
+    """The precompiled-mutant pipeline must not leak into the metrics:
+    serial and sharded runs stay bit-identical with warm-up plus the
+    disk cache tier enabled."""
+    config = tiny_config(iterations=1)
+    serial = ParallelCampaign(
+        config, workers=1, cache_dir=tmp_path / "serial"
+    ).run(include_baseline=False, include_profile_mode=False)
+    parallel = ParallelCampaign(
+        config, workers=2, cache_dir=tmp_path / "parallel"
+    ).run(include_baseline=False, include_profile_mode=False)
+    iterations_equal(serial.iterations[0], parallel.iterations[0])
+
+
+def test_campaign_warmup_compiles_sampled_faultload():
+    from repro.gswfit.cache import clear_mutant_cache
+
+    clear_mutant_cache()
+    try:
+        config = tiny_config(iterations=1)
+        campaign = ParallelCampaign(config, workers=1)
+        campaign.run(include_baseline=False, include_profile_mode=False)
+        stats = campaign.warmup_stats
+        assert stats is not None
+        assert stats["slots"] == config.fault_sample
+        assert stats["compiled"] + stats["cached"] + stats["failed"] == (
+            stats["slots"]
+        )
+    finally:
+        clear_mutant_cache()
+
+
 def test_campaign_merge_matches_manual_shard_runs():
     config = tiny_config(iterations=1)
     campaign = ParallelCampaign(config, workers=1)

@@ -69,13 +69,43 @@ def test_tracer_detach(osi):
 
 
 def test_tracer_attached_late_sees_existing_processes(osi):
-    """Wrappers look the tracer up at call time, not bind time."""
+    """Attaching rebuilds the wrappers of already-bound tables."""
     ctx = osi.new_process()
     ctx.api.GetLastError()
     tracer = ApiCallTracer()
     osi.attach_tracer(tracer)
     ctx.api.GetLastError()
     assert tracer.total_calls == 1
+
+
+def test_untraced_wrapper_carries_no_tracer_reference(osi):
+    """The zero-overhead guarantee is structural: with no tracer
+    attached, the wrapper's closure and names contain no trace of
+    tracing — there is no branch left to mispredict."""
+    ctx = osi.new_process()
+    wrapper = ctx.api.GetLastError
+    cells = [cell.cell_contents for cell in wrapper.__closure__]
+    assert not any(isinstance(cell, ApiCallTracer) for cell in cells)
+    assert "tracer" not in wrapper.__code__.co_names
+    assert "record" not in wrapper.__code__.co_freevars
+    tracer = ApiCallTracer()
+    osi.attach_tracer(tracer)
+    traced = ctx.api.GetLastError
+    assert traced is not wrapper
+    assert tracer.record in [
+        cell.cell_contents for cell in traced.__closure__
+    ]
+    osi.attach_tracer(None)
+    detached = ctx.api.GetLastError
+    assert "record" not in detached.__code__.co_freevars
+
+
+def test_wrapper_cached_in_instance_dict(osi):
+    """Repeat lookups bypass __getattr__ (same object, in __dict__)."""
+    ctx = osi.new_process()
+    first = ctx.api.GetLastError
+    assert ctx.api.GetLastError is first
+    assert ctx.api.__dict__["GetLastError"] is first
 
 
 def test_pristine_os_propagates_our_bugs(osi):
