@@ -1,0 +1,94 @@
+"""Compare two ``BENCH_hot_path.json`` records and fail on regression.
+
+CI uses this as the bench-regression gate: the checked-in record is the
+baseline, the record the bench job just produced is the candidate, and
+a drop of more than ``--tolerance`` (default 30%) in either tracked
+speedup fails the build.
+
+Speedups are ratios (warm vs cold on the *same* host), so they are
+largely machine-independent — which is what makes a cross-host
+comparison against a checked-in record meaningful at all.  Records
+taken in different modes (smoke vs full) are *not* comparable: smoke
+mode shrinks the workloads below the ratio's stable regime, so the
+script refuses the comparison instead of producing noise.
+
+Usage::
+
+    python benchmarks/compare_bench.py baseline.json fresh.json
+"""
+
+import argparse
+import json
+import sys
+
+# (section, key, label) for every speedup the gate tracks.
+TRACKED = [
+    ("repeat_injection", "speedup", "warm-inject speedup"),
+    ("single_pass_scan", "speedup", "single-pass-scan speedup"),
+]
+
+
+def load_record(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare(baseline, fresh, tolerance):
+    """Returns a list of (label, base, new, ok) rows."""
+    rows = []
+    for section, key, label in TRACKED:
+        base = baseline.get(section, {}).get(key)
+        new = fresh.get(section, {}).get(key)
+        if base is None or new is None:
+            rows.append((label, base, new, False))
+            continue
+        floor = base * (1.0 - tolerance)
+        rows.append((label, base, new, new >= floor))
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in bench record")
+    parser.add_argument("fresh", help="record from the current build")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional drop before failing (default: 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_record(args.baseline)
+    fresh = load_record(args.fresh)
+    if baseline.get("smoke") != fresh.get("smoke"):
+        print(
+            "bench records not comparable: one is a smoke run "
+            f"(baseline smoke={baseline.get('smoke')}, "
+            f"fresh smoke={fresh.get('smoke')})",
+            file=sys.stderr,
+        )
+        return 2
+
+    rows = compare(baseline, fresh, args.tolerance)
+    failed = False
+    for label, base, new, ok in rows:
+        if base is None or new is None:
+            print(f"FAIL {label}: missing from "
+                  f"{'baseline' if base is None else 'fresh'} record")
+            failed = True
+            continue
+        delta = (new - base) / base * 100.0
+        status = "ok" if ok else "REGRESSION"
+        print(f"{status:>10}  {label}: {base:.1f}x -> {new:.1f}x "
+              f"({delta:+.1f}%)")
+        failed = failed or not ok
+    if failed:
+        print(
+            f"bench regression beyond {args.tolerance:.0%} tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,18 +99,23 @@ def _cmd_faultload(args):
     return 0
 
 
-def _print_campaign_result(args, config, result):
+def _print_campaign_result(args, config, result, manifest=None,
+                           telemetry_path=None):
     build = get_build(args.os_codename)
     key = (build.display_name, args.server)
     print(table5_results({key: result}).render())
-    metrics = DependabilityMetrics.from_results(result)
-    print()
-    print("Dependability metrics:")
-    print(json.dumps(metrics.as_dict(), indent=2))
+    if result.iterations and (result.baseline or result.profile_mode):
+        metrics = DependabilityMetrics.from_results(result)
+        print()
+        print("Dependability metrics:")
+        print(json.dumps(metrics.as_dict(), indent=2))
     if args.export:
         from repro.reporting.export import export_campaign
 
-        written = export_campaign(result, args.export, config=config)
+        written = export_campaign(
+            result, args.export, config=config, manifest=manifest,
+            telemetry_path=telemetry_path,
+        )
         print(f"results exported: "
               f"{', '.join(str(path) for path in written)}")
 
@@ -144,8 +149,15 @@ def _cmd_campaign(args):
         resume=args.resume,
         cache_dir=args.cache_dir,
         warm_mutants=not args.no_warm_mutants,
+        shard_timeout=args.shard_timeout,
+        max_retries=args.max_retries,
+        telemetry_path=args.telemetry,
+        manifest_path=args.manifest,
     )
-    result = campaign.run()
+    result = campaign.run(
+        include_baseline=not args.no_baseline,
+        include_profile_mode=not args.no_profile,
+    )
     print(f"campaign: {campaign.workers} worker(s), "
           f"{config.rules.iterations} iteration(s), "
           f"shard size {campaign.slots_per_shard} slots")
@@ -154,7 +166,30 @@ def _cmd_campaign(args):
         print(f"mutant warm-up: {stats['compiled']} compiled, "
               f"{stats['cached']} cached, {stats['failed']} failed "
               f"of {stats['slots']} slots")
-    _print_campaign_result(args, config, result)
+    manifest = campaign.manifest
+    if manifest is not None:
+        print(f"metrics digest: {manifest.metrics_digest}")
+        if campaign.manifest_path:
+            print(f"run manifest written to {campaign.manifest_path}")
+    supervision = manifest.supervision if manifest else {}
+    if supervision.get("retries") or supervision.get("pool_rebuilds"):
+        print(f"supervision: {supervision['retries']} retries, "
+              f"{supervision['pool_rebuilds']} pool rebuilds"
+              + (", serial fallback"
+                 if supervision.get("serial_fallback") else ""))
+    if result.degraded:
+        print(f"WARNING: campaign degraded — "
+              f"{len(result.quarantine)} shard(s) quarantined:",
+              file=sys.stderr)
+        for entry in result.quarantine:
+            print(f"  iteration {entry['iteration']} shard "
+                  f"{entry['shard_index']} (slots {entry['first_slot']}"
+                  f"..{entry['first_slot'] + entry['num_slots'] - 1}): "
+                  f"{entry['failures'][-1]}", file=sys.stderr)
+    _print_campaign_result(
+        args, config, result, manifest=manifest,
+        telemetry_path=campaign.telemetry_path,
+    )
     return 0
 
 
@@ -309,6 +344,34 @@ def build_parser():
     campaign.add_argument(
         "--no-warm-mutants", action="store_true",
         help="skip the up-front mutant compilation pass",
+    )
+    campaign.add_argument(
+        "--shard-timeout", type=float, default=None,
+        help="wall-clock deadline in seconds per shard attempt; a "
+             "shard exceeding it is treated as hung and retried",
+    )
+    campaign.add_argument(
+        "--max-retries", type=int, default=2,
+        help="failures a shard may accumulate before it is "
+             "quarantined (default: 2)",
+    )
+    campaign.add_argument(
+        "--telemetry",
+        help="JSONL supervision/phase event stream (default: next to "
+             "--journal when one is given)",
+    )
+    campaign.add_argument(
+        "--manifest",
+        help="write the run manifest (with the deterministic metrics "
+             "digest) to this path (default: next to --journal)",
+    )
+    campaign.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the baseline phase",
+    )
+    campaign.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the profile-mode (intrusiveness) phase",
     )
     campaign.add_argument("--export",
                           help="write results to this directory")

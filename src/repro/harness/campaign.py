@@ -26,19 +26,47 @@ one JSON line per completed unit (header, baseline/profile phases, and
 every ``(iteration, shard)``).  ``resume=True`` replays completed units
 from the journal — a campaign killed mid-iteration and resumed produces
 exactly the result of an uninterrupted run.
+
+**Supervision**: shards run under a
+:class:`~repro.harness.supervisor.ShardSupervisor` — a crashed or killed
+worker is retried on a fresh dispatch, a hung shard is detected by its
+wall-clock deadline, and a shard that keeps failing is quarantined
+(recorded with its fault ids) instead of sinking the campaign, which
+then completes with ``degraded=True``.  Every supervision decision and
+phase boundary is streamed to a telemetry JSONL file, and the run ends
+by writing a :class:`~repro.harness.telemetry.RunManifest` whose
+``metrics_digest`` is byte-identical for any worker count — the hook CI
+gates determinism on.
 """
 
 import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass, replace
+import time
+from dataclasses import asdict, dataclass, field, replace
+from functools import partial
 from pathlib import Path
 
 from repro.faults.faultload import Faultload
-from repro.gswfit.cache import scan_build_cached, warm_mutant_cache
+from repro.gswfit.cache import (
+    library_fingerprint,
+    scan_build_cached,
+    warm_mutant_cache,
+)
 from repro.harness.experiment import WebServerExperiment
 from repro.harness.results import BenchmarkResult, InjectionIteration
+from repro.harness.supervisor import (
+    DEFAULT_MAX_POOL_REBUILDS,
+    DEFAULT_MAX_RETRIES,
+    ShardSupervisor,
+)
+from repro.harness.telemetry import (
+    NullTelemetry,
+    RunManifest,
+    TelemetryWriter,
+    faultload_digest,
+    metrics_digest,
+)
 from repro.ossim.builds import get_build
 from repro.sim.rng import derive_seed
 from repro.specweb.metrics import MetricsPartial, SpecWebMetrics
@@ -54,7 +82,7 @@ __all__ = [
     "run_shard",
 ]
 
-JOURNAL_VERSION = 1
+JOURNAL_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -109,6 +137,7 @@ class ShardOutcome:
     kcp: int
     faults_injected: int
     runtime_stats: dict
+    incidents: list = field(default_factory=list)
 
     def to_dict(self):
         data = asdict(self)
@@ -119,6 +148,7 @@ class ShardOutcome:
     def from_dict(cls, data):
         data = dict(data)
         data["partial"] = MetricsPartial.from_dict(data["partial"])
+        data.setdefault("incidents", [])
         return cls(**data)
 
 
@@ -161,6 +191,7 @@ def run_shard(config, iteration, shard, mutant_cache_dir=None):
         kcp=watchdog.kcp,
         faults_injected=faults_injected,
         runtime_stats=vars(machine.runtime.stats).copy(),
+        incidents=list(watchdog.incidents),
     )
 
 
@@ -185,6 +216,11 @@ def merge_outcomes(outcomes, iteration, num_connections):
     # worker or a journal replay (JSON round-trips sort keys), or the
     # exported campaign.json would differ byte-wise between the two.
     runtime_stats = dict(sorted(runtime_stats.items()))
+    incidents = [
+        incident
+        for outcome in ordered
+        for incident in outcome.incidents
+    ]
     return InjectionIteration(
         iteration=iteration,
         metrics=partial.to_metrics(num_connections),
@@ -195,6 +231,7 @@ def merge_outcomes(outcomes, iteration, num_connections):
             outcome.faults_injected for outcome in ordered
         ),
         runtime_stats=runtime_stats,
+        incidents=incidents,
     )
 
 
@@ -239,22 +276,30 @@ class CampaignJournal:
         if not journal.path.exists():
             return journal
         with open(journal.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
+            lines = [
+                line.strip() for line in handle if line.strip()
+            ]
+        for position, line in enumerate(lines):
+            try:
                 entry = json.loads(line)
-                kind = entry.get("kind")
-                if kind == "header":
-                    journal.header = entry
-                elif kind == "phase":
-                    journal.phases[entry["phase"]] = SpecWebMetrics(
-                        **entry["metrics"]
-                    )
-                elif kind == "shard":
-                    journal.shards[
-                        (entry["iteration"], entry["shard"])
-                    ] = ShardOutcome.from_dict(entry["outcome"])
+            except json.JSONDecodeError:
+                if position == len(lines) - 1:
+                    # A process killed mid-append leaves a torn final
+                    # line; that unit simply reruns on resume.  A torn
+                    # line anywhere else means real corruption.
+                    break
+                raise
+            kind = entry.get("kind")
+            if kind == "header":
+                journal.header = entry
+            elif kind == "phase":
+                journal.phases[entry["phase"]] = SpecWebMetrics(
+                    **entry["metrics"]
+                )
+            elif kind == "shard":
+                journal.shards[
+                    (entry["iteration"], entry["shard"])
+                ] = ShardOutcome.from_dict(entry["outcome"])
         return journal
 
     def _append(self, entry):
@@ -326,11 +371,30 @@ class ParallelCampaign:
         before any worker process exists (default True).  On fork-based
         platforms every worker inherits the warm in-process memo; with a
         ``cache_dir`` the compiled code objects are shared on disk too.
+    shard_timeout:
+        Wall-clock deadline in seconds for one shard attempt; a shard
+        exceeding it is treated as hung (default None: no deadline).
+    max_retries:
+        Charged failures (crash / worker death / hang) a shard may
+        accumulate before it is quarantined.
+    max_pool_rebuilds:
+        Pool losses tolerated before the supervisor falls back to
+        in-process serial execution for the remaining shards.
+    telemetry_path / manifest_path:
+        Where to stream supervision events (JSONL) and write the run
+        manifest.  Default: derived siblings of ``journal_path``
+        (``<journal stem>.telemetry.jsonl`` / ``.manifest.json``) when a
+        journal is configured, otherwise off / in-memory only.  The
+        manifest is always available as ``campaign.manifest`` after
+        :meth:`run`.
     """
 
     def __init__(self, config, workers=None, slots_per_shard=None,
                  journal_path=None, resume=False, cache_dir=None,
-                 warm_mutants=True):
+                 warm_mutants=True, shard_timeout=None,
+                 max_retries=DEFAULT_MAX_RETRIES,
+                 max_pool_rebuilds=DEFAULT_MAX_POOL_REBUILDS,
+                 telemetry_path=None, manifest_path=None):
         self.config = config
         self.workers = max(1, int(workers or os.cpu_count() or 1))
         self.slots_per_shard = int(
@@ -340,7 +404,19 @@ class ParallelCampaign:
         self.resume = resume
         self.cache_dir = cache_dir
         self.warm_mutants = warm_mutants
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
+        self.max_pool_rebuilds = max_pool_rebuilds
+        if journal_path is not None:
+            journal = Path(journal_path)
+            if telemetry_path is None:
+                telemetry_path = journal.with_suffix(".telemetry.jsonl")
+            if manifest_path is None:
+                manifest_path = journal.with_suffix(".manifest.json")
+        self.telemetry_path = telemetry_path
+        self.manifest_path = manifest_path
         self.warmup_stats = None
+        self.manifest = None
         self.experiment = WebServerExperiment(config)
 
     # ------------------------------------------------------------------
@@ -376,15 +452,26 @@ class ParallelCampaign:
         )
         return journal
 
-    def _run_phase(self, journal, phase, runner):
+    def _run_phase(self, journal, phase, runner, telemetry, timings):
         if journal is not None and phase in journal.phases:
+            telemetry.emit("phase_replayed", phase=phase)
             return journal.phases[phase]
+        telemetry.emit("phase_start", phase=phase)
+        started = time.perf_counter()
         metrics = runner()
+        timings[phase] = round(time.perf_counter() - started, 6)
+        telemetry.emit("phase_end", phase=phase,
+                       seconds=timings[phase])
         if journal is not None:
             journal.record_phase(phase, metrics)
         return metrics
 
-    def _run_iteration(self, journal, shards, iteration, pool):
+    def _shard_task(self, iteration):
+        """The picklable per-shard callable one iteration dispatches."""
+        return partial(run_shard, self.config, iteration,
+                       mutant_cache_dir=self.cache_dir)
+
+    def _run_iteration(self, journal, shards, iteration, supervisor):
         done = {}
         if journal is not None:
             for shard in shards:
@@ -392,44 +479,63 @@ class ParallelCampaign:
                 if outcome is not None:
                     done[shard.index] = outcome
         todo = [shard for shard in shards if shard.index not in done]
+        report = None
         if todo:
-            for outcome in self._execute(todo, iteration, pool):
+            def record(outcome):
                 done[outcome.shard_index] = outcome
                 if journal is not None:
                     journal.record_shard(iteration, outcome)
-        return merge_outcomes(
+
+            report = supervisor.run(
+                todo, self._shard_task(iteration), on_outcome=record
+            )
+        merged = merge_outcomes(
             done.values(), iteration, self.config.client.connections
         )
-
-    def _execute(self, shards, iteration, pool):
-        if pool is None:
-            for shard in shards:
-                yield run_shard(self.config, iteration, shard,
-                                mutant_cache_dir=self.cache_dir)
-            return
-        futures = [
-            pool.submit(run_shard, self.config, iteration, shard,
-                        self.cache_dir)
-            for shard in shards
-        ]
-        for future in as_completed(futures):
-            yield future.result()
+        return merged, report
 
     # ------------------------------------------------------------------
     def run(self, faultload=None, include_baseline=True,
             include_profile_mode=True):
-        """Run (or resume) the campaign; returns a BenchmarkResult."""
+        """Run (or resume) the campaign; returns a BenchmarkResult.
+
+        Worker crashes, kills, and hangs are absorbed by the shard
+        supervisor: the campaign completes with ``result.degraded=True``
+        and the offending slots quarantined (never with a worker
+        exception).  The run manifest — including the deterministic
+        metrics digest — is left on ``self.manifest`` and written to
+        ``manifest_path`` when one is configured.
+        """
+        telemetry = (
+            TelemetryWriter(self.telemetry_path)
+            if self.telemetry_path is not None else NullTelemetry()
+        )
+        timings = {}
+        started = time.perf_counter()
         faultload = self.prepared_faultload(faultload)
+        timings["prepare"] = round(time.perf_counter() - started, 6)
         if self.warm_mutants:
             # Compile every sampled mutant exactly once, before any
             # worker process exists: fork-started workers inherit the
             # warm memo, and the disk tier covers spawn-started ones.
+            started = time.perf_counter()
             self.warmup_stats = warm_mutant_cache(
                 faultload, cache_dir=self.cache_dir
+            )
+            timings["warm_mutants"] = round(
+                time.perf_counter() - started, 6
             )
         shards = plan_shards(faultload, self.slots_per_shard)
         key = campaign_key(self.config, faultload)
         journal = self._open_journal(key, len(shards))
+        telemetry.emit(
+            "campaign_start",
+            campaign_key=key,
+            workers=self.workers,
+            shards=len(shards),
+            slots=len(faultload),
+            iterations=self.config.rules.iterations,
+        )
         result = BenchmarkResult(
             server_name=self.config.server_name,
             os_codename=self.config.os_codename,
@@ -439,6 +545,7 @@ class ParallelCampaign:
             result.baseline = self._run_phase(
                 journal, "baseline",
                 lambda: self.experiment.run_baseline(iteration=0),
+                telemetry, timings,
             )
         if include_profile_mode:
             result.profile_mode = self._run_phase(
@@ -446,20 +553,84 @@ class ParallelCampaign:
                 lambda: self.experiment.run_profile_mode(
                     iteration=0, faultload=faultload
                 ),
+                telemetry, timings,
             )
-        # One pool for the whole campaign: fork cost is paid once, not
-        # once per iteration.
-        pool = None
+        supervision = {
+            "retries": 0,
+            "pool_rebuilds": 0,
+            "serial_fallback": False,
+            "quarantined": [],
+        }
+        # One supervisor (and thus at most one pool) for the whole
+        # campaign: fork cost is paid once, not once per iteration.
+        supervisor = ShardSupervisor(
+            workers=self.workers,
+            shard_timeout=self.shard_timeout,
+            max_retries=self.max_retries,
+            max_pool_rebuilds=self.max_pool_rebuilds,
+            telemetry=telemetry,
+        )
         try:
-            if self.workers > 1 and len(shards) > 1:
-                pool = ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(shards))
-                )
             for iteration in range(1, self.config.rules.iterations + 1):
-                result.add_iteration(
-                    self._run_iteration(journal, shards, iteration, pool)
+                telemetry.emit("iteration_start", iteration=iteration)
+                started = time.perf_counter()
+                merged, report = self._run_iteration(
+                    journal, shards, iteration, supervisor
+                )
+                timings[f"iteration-{iteration}"] = round(
+                    time.perf_counter() - started, 6
+                )
+                if report is not None:
+                    supervision["retries"] += report.retries
+                    supervision["pool_rebuilds"] += report.pool_rebuilds
+                    supervision["serial_fallback"] = (
+                        supervision["serial_fallback"]
+                        or report.serial_fallback
+                    )
+                    for quarantined in report.quarantined:
+                        entry = {"iteration": iteration}
+                        entry.update(quarantined.to_dict())
+                        supervision["quarantined"].append(entry)
+                result.add_iteration(merged)
+                telemetry.emit(
+                    "iteration_end",
+                    iteration=iteration,
+                    seconds=timings[f"iteration-{iteration}"],
+                    quarantined=(
+                        len(report.quarantined) if report else 0
+                    ),
                 )
         finally:
-            if pool is not None:
-                pool.shutdown()
+            supervisor.close()
+        result.quarantine = supervision["quarantined"]
+        result.degraded = bool(result.quarantine)
+        supervision["degraded"] = result.degraded
+        digest = metrics_digest(result)
+        self.manifest = RunManifest(
+            campaign_key=key,
+            server=self.config.server_name,
+            os_codename=self.config.os_codename,
+            os_display=self.experiment.build.display_name,
+            seed=self.config.seed,
+            build_fingerprint=library_fingerprint(self.experiment.build),
+            faultload_digest=faultload_digest(faultload),
+            slots=len(faultload),
+            workers=self.workers,
+            slots_per_shard=self.slots_per_shard,
+            num_shards=len(shards),
+            iterations=self.config.rules.iterations,
+            journal_version=JOURNAL_VERSION,
+            phase_timings=timings,
+            supervision=supervision,
+            metrics_digest=digest,
+            created_at=round(time.time(), 6),
+        )
+        if self.manifest_path is not None:
+            self.manifest.write(self.manifest_path)
+        telemetry.emit(
+            "campaign_end",
+            degraded=result.degraded,
+            metrics_digest=digest,
+        )
+        telemetry.close()
         return result

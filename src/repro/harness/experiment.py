@@ -220,6 +220,7 @@ class WebServerExperiment:
             kcp=watchdog.kcp,
             faults_injected=faults_injected,
             runtime_stats=vars(machine.runtime.stats).copy(),
+            incidents=list(watchdog.incidents),
         )
 
     # ------------------------------------------------------------------

@@ -22,6 +22,9 @@ class InjectionIteration:
     kcp: int
     faults_injected: int
     runtime_stats: dict = field(default_factory=dict)
+    # Per-incident ADMf detail from the watchdog: {"t": sim_time,
+    # "kind": "MIS"|"KNS"|"KCP"}, ordered by slot then sim time.
+    incidents: list = field(default_factory=list)
 
     @property
     def admf(self):
@@ -50,6 +53,11 @@ class BenchmarkResult:
     baseline: SpecWebMetrics | None = None
     profile_mode: SpecWebMetrics | None = None
     iterations: list = field(default_factory=list)
+    # Supervised execution: True when at least one shard was quarantined
+    # (its slots are missing from the merged metrics); the quarantine
+    # list records each poisoned shard with its iteration and fault ids.
+    degraded: bool = False
+    quarantine: list = field(default_factory=list)
 
     def average_row(self):
         return average_iterations(self.iterations)

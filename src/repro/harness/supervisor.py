@@ -1,0 +1,404 @@
+"""Supervised shard execution for the parallel campaign.
+
+The paper's metrics are only comparable across (BT, FIT) pairs when a
+campaign completes *whole*: SPCf/THRf/RTMf and ADMf are ratios over the
+full set of injection slots, so a run that silently loses slots is not a
+data point, it is a different experiment.  ``ParallelCampaign``'s workers
+are ordinary processes, though, and processes die: a mutant can take the
+interpreter down, a host can OOM-kill a worker, a pathological fault can
+hang a shard forever.  Before this module, any of those raised straight
+out of ``as_completed`` and lost the entire campaign.
+
+:class:`ShardSupervisor` sits between the campaign and its worker pool
+and turns worker failure into an explicit, bounded protocol:
+
+* **Crash** — a shard task that raises is retried on a fresh dispatch,
+  up to ``max_retries`` retries.
+* **Worker death** — a worker that disappears (``BrokenProcessPool``,
+  e.g. ``SIGKILL`` or an interpreter abort) poisons every in-flight
+  future, so the culprit is ambiguous.  All in-flight shards are
+  requeued *uncharged* onto a **probation** queue and re-run one at a
+  time on a rebuilt pool: a shard that dies solo is unambiguously
+  guilty and is charged; innocents complete and are cleared.  This is
+  what keeps one poison shard from dragging its neighbours into
+  quarantine.
+* **Hang** — every dispatch carries a wall-clock deadline
+  (``shard_timeout``).  A shard that exceeds it is charged, the pool is
+  torn down (a hung worker cannot be preempted any other way), and the
+  remaining in-flight shards are requeued uncharged.
+* **Quarantine** — a shard charged more than ``max_retries`` times is
+  recorded as a :class:`QuarantinedShard` (with the fault ids it was
+  carrying) instead of being retried forever.  The campaign then
+  completes with ``degraded=True`` rather than dying.
+* **Serial fallback** — if the pool is lost more than
+  ``max_pool_rebuilds`` times the supervisor stops trusting process
+  isolation and runs the remaining shards in-process, serially.  Hangs
+  cannot be detected in this mode (there is no one left to watch), but
+  crashes are still retried and quarantined.
+
+The supervisor is deliberately generic: ``run(shards, task)`` accepts
+any picklable ``task(shard) -> outcome`` callable, which is what the
+supervision tests exploit to inject crashes, kills, and hangs without a
+real campaign underneath.
+"""
+
+import math
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.harness.telemetry import NullTelemetry
+
+__all__ = [
+    "QuarantinedShard",
+    "ShardSupervisor",
+    "SupervisionReport",
+]
+
+DEFAULT_MAX_RETRIES = 2
+DEFAULT_MAX_POOL_REBUILDS = 3
+
+
+@dataclass(frozen=True)
+class QuarantinedShard:
+    """A shard given up on after exhausting its retry budget."""
+
+    shard_index: int
+    first_slot: int
+    num_slots: int
+    fault_ids: tuple
+    attempts: int
+    failures: tuple
+
+    def to_dict(self):
+        return {
+            "shard_index": self.shard_index,
+            "first_slot": self.first_slot,
+            "num_slots": self.num_slots,
+            "fault_ids": list(self.fault_ids),
+            "attempts": self.attempts,
+            "failures": list(self.failures),
+        }
+
+
+@dataclass
+class SupervisionReport:
+    """Everything one supervised pass over a shard list produced."""
+
+    outcomes: dict = field(default_factory=dict)
+    quarantined: list = field(default_factory=list)
+    retries: int = 0
+    pool_rebuilds: int = 0
+    serial_fallback: bool = False
+
+    @property
+    def degraded(self):
+        """True when at least one shard's slots are missing."""
+        return bool(self.quarantined)
+
+
+class _Attempt:
+    """Bookkeeping for one shard: every charged failure, in order."""
+
+    __slots__ = ("shard", "failures")
+
+    def __init__(self, shard):
+        self.shard = shard
+        self.failures = []
+
+
+class ShardSupervisor:
+    """Runs shard tasks on a worker pool and survives the pool.
+
+    One supervisor owns at most one :class:`ProcessPoolExecutor` at a
+    time and may be reused across many :meth:`run` calls (the campaign
+    reuses it across iterations so the fork cost is paid once).  Call
+    :meth:`close` — or use it as a context manager — when done.
+    """
+
+    def __init__(self, workers=1, *, shard_timeout=None,
+                 max_retries=DEFAULT_MAX_RETRIES,
+                 max_pool_rebuilds=DEFAULT_MAX_POOL_REBUILDS,
+                 poll_seconds=0.05, telemetry=None):
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive (or None)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.workers = max(1, int(workers))
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.poll_seconds = poll_seconds
+        self.telemetry = telemetry if telemetry is not None else NullTelemetry()
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _discard_pool(self, kill=False):
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            # A hung worker never returns, so the only way to reclaim it
+            # is to terminate the processes under the executor.  The
+            # _processes map is executor-internal but stable since 3.7;
+            # failing to reach it only leaks the worker, never the run.
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    if process.is_alive():
+                        process.terminate()
+                except (OSError, ValueError):
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, shards, task, on_outcome=None):
+        """Run ``task`` over every shard; never raises for worker faults.
+
+        Returns a :class:`SupervisionReport`; completed outcomes are in
+        ``report.outcomes`` keyed by shard index, and ``on_outcome`` (if
+        given) is called in the parent as each one lands — the campaign
+        journals through it.
+        """
+        report = SupervisionReport()
+        shards = list(shards)
+        if not shards:
+            return report
+        if self.workers <= 1 or len(shards) == 1:
+            queue = deque(_Attempt(shard) for shard in shards)
+            self._run_serial(queue, task, report, on_outcome)
+            return report
+        self._run_pool(shards, task, report, on_outcome)
+        return report
+
+    # ------------------------------------------------------------------
+    # Pool mode
+    # ------------------------------------------------------------------
+    def _run_pool(self, shards, task, report, on_outcome):
+        pending = deque(_Attempt(shard) for shard in shards)
+        probation = deque()
+        running = {}
+        while pending or probation or running:
+            if (report.pool_rebuilds > self.max_pool_rebuilds
+                    and not running):
+                # The pool keeps dying under us: stop trusting process
+                # isolation and finish in-process.
+                report.serial_fallback = True
+                self.telemetry.emit(
+                    "serial_fallback",
+                    remaining=len(probation) + len(pending),
+                    pool_rebuilds=report.pool_rebuilds,
+                )
+                queue = deque(probation)
+                queue.extend(pending)
+                probation.clear()
+                pending.clear()
+                self._discard_pool()
+                self._run_serial(queue, task, report, on_outcome)
+                return
+            # Dispatch.  While probation is non-empty, shards run one at
+            # a time: a solo failure identifies its culprit exactly.
+            if probation:
+                if not running:
+                    self._dispatch(running, probation.popleft(), task,
+                                   report, probation)
+            else:
+                while pending and len(running) < self.workers:
+                    self._dispatch(running, pending.popleft(), task,
+                                   report, probation)
+            if not running:
+                continue
+            done, _ = wait(list(running), timeout=self.poll_seconds,
+                           return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            broken = []
+            for future in done:
+                attempt, _deadline, started = running.pop(future)
+                exception = future.exception()
+                if exception is None:
+                    self._complete(report, attempt, future.result(),
+                                   now - started, on_outcome)
+                elif isinstance(exception, BrokenProcessPool):
+                    broken.append(attempt)
+                else:
+                    if not self._fail(report, attempt,
+                                      f"crash: {exception!r}"):
+                        pending.append(attempt)
+            if broken:
+                self._handle_pool_loss(running, broken, probation,
+                                       report, on_outcome)
+                continue
+            self._check_deadlines(running, pending, probation, report,
+                                  on_outcome, now)
+
+    def _dispatch(self, running, attempt, task, report, probation):
+        pool = self._ensure_pool()
+        try:
+            future = pool.submit(task, attempt.shard)
+        except BrokenProcessPool:
+            # The pool died between our last drain and this submit.
+            self._discard_pool()
+            report.pool_rebuilds += 1
+            self.telemetry.emit("pool_rebuild", reason="submit-on-broken")
+            probation.appendleft(attempt)
+            return
+        now = time.monotonic()
+        deadline = (math.inf if self.shard_timeout is None
+                    else now + self.shard_timeout)
+        running[future] = (attempt, deadline, now)
+        self.telemetry.emit(
+            "shard_dispatch",
+            shard=attempt.shard.index,
+            attempt=len(attempt.failures) + 1,
+        )
+
+    def _handle_pool_loss(self, running, broken, probation, report,
+                          on_outcome):
+        """A worker died; every in-flight future is (or will be) broken."""
+        victims = list(broken)
+        now = time.monotonic()
+        for future in list(running):
+            attempt, _deadline, started = running.pop(future)
+            if future.done() and future.exception() is None:
+                # Finished in the gap between the kill and our drain.
+                self._complete(report, attempt, future.result(),
+                               now - started, on_outcome)
+            else:
+                victims.append(attempt)
+        self._discard_pool()
+        report.pool_rebuilds += 1
+        self.telemetry.emit(
+            "pool_rebuild",
+            reason="worker-died",
+            suspects=[victim.shard.index for victim in victims],
+        )
+        if len(victims) == 1:
+            # Solo dispatch: the culprit is unambiguous — charge it.
+            victim = victims[0]
+            if not self._fail(report, victim, "worker died (pool lost)"):
+                probation.append(victim)
+        else:
+            # Culprit unknown: everyone goes to probation, uncharged,
+            # to be re-run one at a time.
+            probation.extend(victims)
+
+    def _check_deadlines(self, running, pending, probation, report,
+                         on_outcome, now):
+        hung = {
+            future for future, (_a, deadline, _s) in running.items()
+            if now >= deadline
+        }
+        if not hung:
+            return
+        for future in list(running):
+            attempt, _deadline, started = running.pop(future)
+            if future in hung:
+                if not self._fail(
+                    report, attempt,
+                    f"hang: exceeded {self.shard_timeout}s deadline",
+                ):
+                    probation.append(attempt)
+            elif future.done() and future.exception() is None:
+                self._complete(report, attempt, future.result(),
+                               now - started, on_outcome)
+            else:
+                # Innocent bystander: requeue uncharged, ahead of new work.
+                pending.appendleft(attempt)
+        # A hung worker cannot be preempted individually — kill the pool.
+        self._discard_pool(kill=True)
+        report.pool_rebuilds += 1
+        self.telemetry.emit("pool_rebuild", reason="hang")
+
+    # ------------------------------------------------------------------
+    # Serial mode (workers=1, single shard, or pool fallback)
+    # ------------------------------------------------------------------
+    def _run_serial(self, queue, task, report, on_outcome):
+        while queue:
+            attempt = queue.popleft()
+            started = time.monotonic()
+            try:
+                outcome = task(attempt.shard)
+            except Exception as exception:  # noqa: BLE001 — supervision
+                if not self._fail(report, attempt,
+                                  f"crash: {exception!r}"):
+                    queue.append(attempt)
+                continue
+            self._complete(report, attempt, outcome,
+                           time.monotonic() - started, on_outcome)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _complete(self, report, attempt, outcome, seconds, on_outcome):
+        report.outcomes[attempt.shard.index] = outcome
+        event = {
+            "shard": attempt.shard.index,
+            "seconds": round(seconds, 6),
+            "attempts": len(attempt.failures) + 1,
+        }
+        for counter in ("mis", "kns", "kcp", "faults_injected"):
+            value = getattr(outcome, counter, None)
+            if value is not None:
+                event[counter] = value
+        self.telemetry.emit("shard_done", **event)
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    def _fail(self, report, attempt, reason):
+        """Charge one failure; returns True when the shard is quarantined."""
+        attempt.failures.append(reason)
+        shard = attempt.shard
+        if len(attempt.failures) > self.max_retries:
+            quarantined = QuarantinedShard(
+                shard_index=shard.index,
+                first_slot=shard.first_slot,
+                num_slots=len(shard.locations),
+                fault_ids=tuple(
+                    location.fault_id for location in shard.locations
+                ),
+                attempts=len(attempt.failures),
+                failures=tuple(attempt.failures),
+            )
+            report.quarantined.append(quarantined)
+            self.telemetry.emit(
+                "shard_quarantine",
+                shard=shard.index,
+                first_slot=shard.first_slot,
+                fault_ids=list(quarantined.fault_ids),
+                failures=list(quarantined.failures),
+            )
+            return True
+        report.retries += 1
+        self.telemetry.emit(
+            "shard_retry",
+            shard=shard.index,
+            reason=reason,
+            attempt=len(attempt.failures),
+        )
+        return False

@@ -1,0 +1,238 @@
+"""Campaign telemetry: a JSONL event stream and the run manifest.
+
+Dependability benchmarking (the paper's Section 2 properties, and the
+fault-injection services in PAPERS.md) demands that a campaign be
+*auditable*: a result you cannot trace back to what actually ran — which
+slots, on how many workers, with how many retries — is scrollback, not
+evidence.  This module produces two artifacts, both written next to the
+campaign journal:
+
+* **Telemetry** (:class:`TelemetryWriter`) — an append-only JSONL event
+  stream.  Every supervision decision (dispatch, completion, retry,
+  quarantine, pool rebuild, serial fallback) and every campaign phase
+  lands here with a wall-clock timestamp and a monotone sequence
+  number.  It is the flight recorder: diagnostic, *not* part of the
+  campaign's identity.
+* **Run manifest** (:class:`RunManifest`) — one JSON document that
+  identifies the run: campaign key, seed, build fingerprint, faultload
+  digest, worker count, per-phase wall timings, everything supervision
+  had to do, and a **metrics digest** — a SHA-256 over the merged,
+  deterministic results.  The digest is the contract the determinism
+  CI gate checks: ``workers=N`` and ``workers=1`` must produce
+  byte-identical digests, so the gate is a one-line comparison of two
+  manifest fields.
+
+The split matters: timings and timestamps vary run to run, so they live
+*outside* :func:`metrics_digest`, which covers only fields that are pure
+functions of ``(config, seed, faultload)``.
+"""
+
+import dataclasses
+import hashlib
+import json
+import time
+from pathlib import Path
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "NullTelemetry",
+    "RunManifest",
+    "TelemetryWriter",
+    "faultload_digest",
+    "metrics_digest",
+    "read_telemetry",
+]
+
+MANIFEST_VERSION = 1
+TELEMETRY_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Event stream
+# ----------------------------------------------------------------------
+class NullTelemetry:
+    """No-op sink used when no telemetry path is configured."""
+
+    path = None
+
+    def emit(self, event, **fields):
+        pass
+
+    def close(self):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        pass
+
+
+class TelemetryWriter:
+    """Append-only JSONL event stream with a monotone sequence number.
+
+    Events are flushed line by line, so a crash loses at most the event
+    being written — the stream stays parseable (readers drop a torn
+    final line, exactly like the campaign journal).
+    """
+
+    def __init__(self, path, clock=time.time):
+        self.path = Path(path)
+        self.clock = clock
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._sequence = 0
+        self.emit("telemetry_open", version=TELEMETRY_VERSION)
+
+    def emit(self, event, **fields):
+        entry = {
+            "seq": self._sequence,
+            "t": round(self.clock(), 6),
+            "event": event,
+        }
+        entry.update(fields)
+        self._sequence += 1
+        self._handle.write(json.dumps(entry, sort_keys=True, default=str))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def read_telemetry(path):
+    """Parse a telemetry JSONL file, dropping a torn final line."""
+    events = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    stripped = [line.strip() for line in lines if line.strip()]
+    for position, line in enumerate(stripped):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if position == len(stripped) - 1:
+                break
+            raise
+    return events
+
+
+# ----------------------------------------------------------------------
+# Digests
+# ----------------------------------------------------------------------
+def _metrics_dict(metrics):
+    if metrics is None:
+        return None
+    return dataclasses.asdict(metrics)
+
+
+def metrics_digest(result):
+    """SHA-256 over the deterministic content of a campaign result.
+
+    Covers exactly the fields that are pure functions of
+    ``(config, seed, faultload)`` — metrics, ADMf counters, runtime
+    stats, watchdog incidents — and nothing that varies run to run
+    (wall timings, retry counts, host facts).  ``workers=N`` and
+    ``workers=1`` therefore hash identically, which is the property the
+    determinism CI gate enforces byte-for-byte.
+    """
+    payload = {
+        "baseline": _metrics_dict(result.baseline),
+        "profile_mode": _metrics_dict(result.profile_mode),
+        "iterations": [
+            {
+                "iteration": iteration.iteration,
+                "metrics": _metrics_dict(iteration.metrics),
+                "mis": iteration.mis,
+                "kns": iteration.kns,
+                "kcp": iteration.kcp,
+                "faults_injected": iteration.faults_injected,
+                "runtime_stats": iteration.runtime_stats,
+                "incidents": iteration.incidents,
+            }
+            for iteration in result.iterations
+        ],
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def faultload_digest(faultload):
+    """SHA-256 over the exact slot sequence (order-sensitive)."""
+    blob = "\n".join(location.fault_id for location in faultload)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Run manifest
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class RunManifest:
+    """One campaign run, identified end to end.
+
+    Field-by-field schema (also documented in DESIGN.md):
+
+    * ``manifest_version`` — schema version of this document.
+    * ``campaign_key`` — SHA-256 of (config, slot sequence); the same
+      key the journal header carries.
+    * ``server`` / ``os_codename`` / ``os_display`` — the (BT, FIT)
+      pair under benchmark.
+    * ``seed`` — the campaign's base seed.
+    * ``build_fingerprint`` — SHA-256 of the scanned OS build's library
+      sources (the scan-cache fingerprint).
+    * ``faultload_digest`` — SHA-256 of the exact fault-id sequence.
+    * ``slots`` — total injection slots in the prepared faultload.
+    * ``workers`` / ``slots_per_shard`` / ``num_shards`` — execution
+      shape (diagnostic; never part of the metrics digest).
+    * ``iterations`` — planned injection iterations.
+    * ``journal_version`` — checkpoint schema the journal used.
+    * ``phase_timings`` — wall seconds per phase (prepare, warm-up,
+      baseline, profile mode, each iteration).
+    * ``supervision`` — retries, pool rebuilds, serial fallback, and
+      the quarantined shards (with their fault ids), plus ``degraded``.
+    * ``metrics_digest`` — :func:`metrics_digest` of the final result;
+      the determinism gate's comparand.
+    * ``created_at`` — unix time the manifest was written.
+    """
+
+    campaign_key: str
+    server: str
+    os_codename: str
+    os_display: str
+    seed: int
+    build_fingerprint: str
+    faultload_digest: str
+    slots: int
+    workers: int
+    slots_per_shard: int
+    num_shards: int
+    iterations: int
+    journal_version: int
+    phase_timings: dict = dataclasses.field(default_factory=dict)
+    supervision: dict = dataclasses.field(default_factory=dict)
+    metrics_digest: str = ""
+    created_at: float = 0.0
+    manifest_version: int = MANIFEST_VERSION
+
+    def to_dict(self):
+        return dataclasses.asdict(self)
+
+    def write(self, path):
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path):
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(**data)

@@ -35,6 +35,11 @@ class Watchdog:
         self.mis = 0
         self.kns = 0
         self.kcp = 0
+        # Every administration incident, in simulated-time order: the
+        # raw material behind the ADMf counters, exported through shard
+        # outcomes into campaign telemetry.  Sim time is deterministic,
+        # so the log is identical for any worker count.
+        self.incidents = []
         self.restarts_performed = 0
         self._death_counted = False
         self._last_restart_time = float("-inf")
@@ -72,6 +77,7 @@ class Watchdog:
         if runtime.is_dead():
             if not self._death_counted:
                 self.mis += 1
+                self._record_incident("MIS")
                 self._death_counted = True
             if runtime.restart():
                 self._death_counted = False
@@ -85,8 +91,10 @@ class Watchdog:
         if not in_grace and self._looks_unresponsive():
             if runtime.cpu_hog_recent:
                 self.kcp += 1
+                self._record_incident("KCP")
             else:
                 self.kns += 1
+                self._record_incident("KNS")
             runtime.restart()
             self.restarts_performed += 1
             self._last_restart_time = self.sim.now
@@ -102,6 +110,11 @@ class Watchdog:
             return False  # it served something recently
         # Demand without service for the whole window.
         return True
+
+    def _record_incident(self, kind):
+        # Keys in sorted order so a journal round-trip (sort_keys=True)
+        # reproduces the live dict byte-for-byte in exports.
+        self.incidents.append({"kind": kind, "t": self.sim.now})
 
     # ------------------------------------------------------------------
     # Reporting

@@ -10,6 +10,7 @@ metrics — as JSON and CSV into a directory another team can diff.
 
 import dataclasses
 import json
+import shutil
 from pathlib import Path
 
 from repro.harness.metrics import DependabilityMetrics
@@ -26,14 +27,19 @@ def _metrics_dict(metrics):
     return dict(metrics)
 
 
-def export_campaign(result, directory, config=None):
+def export_campaign(result, directory, config=None, manifest=None,
+                    telemetry_path=None):
     """Write one :class:`~repro.harness.results.BenchmarkResult`.
 
     Produces in ``directory``:
 
     * ``campaign.json`` — everything, machine readable;
     * ``iterations.csv`` — the Table 5 rows;
-    * ``summary.txt`` — the human-readable table.
+    * ``summary.txt`` — the human-readable table;
+    * ``run_manifest.json`` — when a
+      :class:`~repro.harness.telemetry.RunManifest` is passed;
+    * ``telemetry.jsonl`` — a copy of the supervision event stream,
+      when ``telemetry_path`` names an existing file.
 
     Returns the list of written paths.
     """
@@ -53,10 +59,13 @@ def export_campaign(result, directory, config=None):
                 "row": iteration.as_row(),
                 "faults_injected": iteration.faults_injected,
                 "runtime_stats": iteration.runtime_stats,
+                "incidents": iteration.incidents,
             }
             for iteration in result.iterations
         ],
         "average": result.average_row(),
+        "degraded": result.degraded,
+        "quarantine": result.quarantine,
         "dependability": (
             DependabilityMetrics.from_results(result).as_dict()
             if (result.profile_mode or result.baseline)
@@ -101,8 +110,20 @@ def export_campaign(result, directory, config=None):
                 f"{key}={value:.2f}" for key, value in average.items()
             )
         )
+    if result.degraded:
+        summary_lines.append(
+            f"DEGRADED: {len(result.quarantine)} shard(s) quarantined "
+            "— metrics cover the surviving slots only"
+        )
     summary_path.write_text("\n".join(summary_lines) + "\n")
     written.append(summary_path)
+
+    if manifest is not None:
+        written.append(manifest.write(directory / "run_manifest.json"))
+    if telemetry_path is not None and Path(telemetry_path).exists():
+        telemetry_copy = directory / "telemetry.jsonl"
+        shutil.copyfile(telemetry_path, telemetry_copy)
+        written.append(telemetry_copy)
     return written
 
 

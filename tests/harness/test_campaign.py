@@ -245,6 +245,54 @@ def test_journal_load_tolerates_missing_file(tmp_path):
     assert journal.shards == {}
 
 
+def test_journal_load_drops_truncated_final_line(tmp_path):
+    """A hard kill mid-append leaves a torn last line; load must treat
+    it as an incomplete unit (rerun on resume), not corruption."""
+    config = tiny_config(iterations=1)
+    journal_path = tmp_path / "campaign.jsonl"
+    ParallelCampaign(config, workers=1, journal_path=journal_path).run(
+        include_baseline=False, include_profile_mode=False
+    )
+    intact = CampaignJournal.load(journal_path)
+    assert intact.shards
+    whole = journal_path.read_text()
+    lines = whole.rstrip("\n").split("\n")
+    torn = "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+    journal_path.write_text(torn)
+    journal = CampaignJournal.load(journal_path)
+    assert journal.header is not None
+    assert len(journal.shards) == len(intact.shards) - 1
+
+
+def test_journal_load_raises_on_mid_file_corruption(tmp_path):
+    journal_path = tmp_path / "campaign.jsonl"
+    journal_path.write_text(
+        '{"kind": "header", "version": 2, "campaign_key": "k"}\n'
+        '{"kind": "shard", "iteration": 1, "sh\n'
+        '{"kind": "phase", "phase": "baseline", "metrics": {}}\n'
+    )
+    with pytest.raises(json.JSONDecodeError):
+        CampaignJournal.load(journal_path)
+
+
+def test_campaign_resumes_after_hard_kill_with_torn_journal(tmp_path):
+    """End to end: truncate the journal mid-line, resume, and land on
+    the uninterrupted result."""
+    config = tiny_config(iterations=1)
+    full_journal = tmp_path / "full.jsonl"
+    full = ParallelCampaign(
+        config, workers=1, journal_path=full_journal
+    ).run(include_baseline=False, include_profile_mode=False)
+    torn_journal = tmp_path / "torn.jsonl"
+    content = full_journal.read_text()
+    torn_journal.write_text(content[: int(len(content) * 0.8)])
+    resumed = ParallelCampaign(
+        config, workers=1, journal_path=torn_journal, resume=True
+    ).run(include_baseline=False, include_profile_mode=False)
+    assert len(resumed.iterations) == len(full.iterations) == 1
+    iterations_equal(full.iterations[0], resumed.iterations[0])
+
+
 # ----------------------------------------------------------------------
 # Integration with the serial experiment
 # ----------------------------------------------------------------------

@@ -1,0 +1,216 @@
+"""Tier-1 tests for the shard supervisor.
+
+The supervisor is generic over the task it runs, which is what these
+tests exploit: a top-level ``_behave`` task interprets a behaviour
+encoded in each shard's fault ids (``ok``, ``crash``, ``kill``,
+``hang``, plus ``*_once`` transient variants that leave a marker file
+so the retry succeeds) and simulates every failure mode the supervisor
+must absorb — without a campaign underneath.
+"""
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+from repro.harness.campaign import CampaignShard
+from repro.harness.supervisor import ShardSupervisor
+from repro.harness.telemetry import TelemetryWriter, read_telemetry
+
+
+@dataclass(frozen=True)
+class FakeLocation:
+    fault_id: str
+
+
+def make_shard(index, behaviour="ok"):
+    return CampaignShard(
+        index=index,
+        first_slot=index * 2,
+        locations=(
+            FakeLocation(f"{behaviour}#{index}#a"),
+            FakeLocation(f"{behaviour}#{index}#b"),
+        ),
+    )
+
+
+def _behave(marker_dir, shard):
+    """Worker task: act out the behaviour named in the shard's fault ids."""
+    behaviour = shard.locations[0].fault_id.split("#")[0]
+    if behaviour.endswith("_once"):
+        marker = Path(marker_dir) / f"once-{shard.index}"
+        if marker.exists():
+            behaviour = "ok"
+        else:
+            marker.write_text("tried")
+            behaviour = behaviour[: -len("_once")]
+    if behaviour == "crash":
+        raise ValueError(f"boom in shard {shard.index}")
+    if behaviour == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if behaviour == "hang":
+        time.sleep(60.0)
+    return {"shard": shard.index}
+
+
+def run_supervised(tmp_path, shards, **kwargs):
+    kwargs.setdefault("poll_seconds", 0.02)
+    with ShardSupervisor(**kwargs) as supervisor:
+        return supervisor.run(shards, partial(_behave, str(tmp_path)))
+
+
+# ----------------------------------------------------------------------
+# Healthy paths
+# ----------------------------------------------------------------------
+def test_all_shards_complete_in_pool_mode(tmp_path):
+    shards = [make_shard(i) for i in range(4)]
+    report = run_supervised(tmp_path, shards, workers=2)
+    assert sorted(report.outcomes) == [0, 1, 2, 3]
+    assert report.quarantined == []
+    assert report.retries == 0
+    assert not report.degraded
+
+
+def test_all_shards_complete_serially(tmp_path):
+    shards = [make_shard(i) for i in range(3)]
+    report = run_supervised(tmp_path, shards, workers=1)
+    assert sorted(report.outcomes) == [0, 1, 2]
+    assert not report.degraded
+
+
+def test_on_outcome_called_per_completion(tmp_path):
+    seen = []
+    shards = [make_shard(i) for i in range(3)]
+    with ShardSupervisor(workers=1) as supervisor:
+        supervisor.run(shards, partial(_behave, str(tmp_path)),
+                       on_outcome=seen.append)
+    assert sorted(outcome["shard"] for outcome in seen) == [0, 1, 2]
+
+
+def test_empty_shard_list(tmp_path):
+    report = run_supervised(tmp_path, [], workers=2)
+    assert report.outcomes == {}
+    assert not report.degraded
+
+
+# ----------------------------------------------------------------------
+# Crash: a worker task that raises
+# ----------------------------------------------------------------------
+def test_transient_crash_is_retried_to_success(tmp_path):
+    shards = [make_shard(0, "crash_once"), make_shard(1), make_shard(2)]
+    report = run_supervised(tmp_path, shards, workers=2, max_retries=2)
+    assert sorted(report.outcomes) == [0, 1, 2]
+    assert report.retries == 1
+    assert report.quarantined == []
+
+
+def test_persistent_crash_is_quarantined(tmp_path):
+    shards = [make_shard(0, "crash"), make_shard(1), make_shard(2)]
+    report = run_supervised(tmp_path, shards, workers=2, max_retries=1)
+    assert sorted(report.outcomes) == [1, 2]
+    assert len(report.quarantined) == 1
+    poisoned = report.quarantined[0]
+    assert poisoned.shard_index == 0
+    assert poisoned.attempts == 2  # initial try + 1 retry
+    assert all("crash" in failure for failure in poisoned.failures)
+    assert poisoned.fault_ids == ("crash#0#a", "crash#0#b")
+    assert report.degraded
+
+
+def test_serial_mode_also_quarantines(tmp_path):
+    shards = [make_shard(0, "crash"), make_shard(1)]
+    report = run_supervised(tmp_path, shards, workers=1, max_retries=0)
+    assert sorted(report.outcomes) == [1]
+    assert [q.shard_index for q in report.quarantined] == [0]
+
+
+# ----------------------------------------------------------------------
+# Worker death: SIGKILL breaks the whole pool
+# ----------------------------------------------------------------------
+def test_killed_worker_recovers_on_rebuilt_pool(tmp_path):
+    shards = [make_shard(0, "kill_once"), make_shard(1), make_shard(2),
+              make_shard(3)]
+    report = run_supervised(tmp_path, shards, workers=2, max_retries=2)
+    assert sorted(report.outcomes) == [0, 1, 2, 3]
+    assert report.quarantined == []
+    assert report.pool_rebuilds >= 1
+
+
+def test_poison_kill_quarantines_only_the_offender(tmp_path):
+    """Probation isolates the shard that keeps killing its worker:
+    the neighbours sharing its pool are never charged for its deaths."""
+    shards = [make_shard(0, "kill"), make_shard(1), make_shard(2),
+              make_shard(3)]
+    report = run_supervised(tmp_path, shards, workers=2, max_retries=1,
+                            max_pool_rebuilds=10)
+    assert sorted(report.outcomes) == [1, 2, 3]
+    assert [q.shard_index for q in report.quarantined] == [0]
+    poisoned = report.quarantined[0]
+    assert poisoned.attempts == 2
+    assert all("worker died" in failure for failure in poisoned.failures)
+    assert report.degraded
+
+
+def test_repeated_pool_loss_falls_back_to_serial(tmp_path):
+    shards = [make_shard(0, "kill_once"), make_shard(1), make_shard(2)]
+    report = run_supervised(tmp_path, shards, workers=2, max_retries=3,
+                            max_pool_rebuilds=0)
+    # The first kill exhausts the pool budget; the survivors (including
+    # the killer's now-marked retry) finish in-process.
+    assert sorted(report.outcomes) == [0, 1, 2]
+    assert report.serial_fallback
+    assert report.quarantined == []
+
+
+# ----------------------------------------------------------------------
+# Hang: a shard that exceeds its wall-clock deadline
+# ----------------------------------------------------------------------
+def test_hung_shard_is_quarantined_others_survive(tmp_path):
+    shards = [make_shard(0, "hang"), make_shard(1), make_shard(2)]
+    report = run_supervised(tmp_path, shards, workers=2, max_retries=0,
+                            shard_timeout=0.5)
+    assert sorted(report.outcomes) == [1, 2]
+    assert [q.shard_index for q in report.quarantined] == [0]
+    assert any("hang" in failure
+               for failure in report.quarantined[0].failures)
+    assert report.pool_rebuilds >= 1
+
+
+def test_transient_hang_is_retried(tmp_path):
+    shards = [make_shard(0, "hang_once"), make_shard(1)]
+    report = run_supervised(tmp_path, shards, workers=2, max_retries=1,
+                            shard_timeout=0.5)
+    assert sorted(report.outcomes) == [0, 1]
+    assert report.retries == 1
+    assert report.quarantined == []
+
+
+# ----------------------------------------------------------------------
+# Parameter validation + telemetry
+# ----------------------------------------------------------------------
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ShardSupervisor(workers=2, shard_timeout=0.0)
+    with pytest.raises(ValueError):
+        ShardSupervisor(workers=2, max_retries=-1)
+
+
+def test_supervision_events_are_streamed(tmp_path):
+    shards = [make_shard(0, "crash_once"), make_shard(1)]
+    telemetry_path = tmp_path / "events.jsonl"
+    with TelemetryWriter(telemetry_path) as telemetry:
+        with ShardSupervisor(workers=2, max_retries=2,
+                             poll_seconds=0.02,
+                             telemetry=telemetry) as supervisor:
+            supervisor.run(shards, partial(_behave, str(tmp_path)))
+    events = read_telemetry(telemetry_path)
+    kinds = [event["event"] for event in events]
+    assert kinds.count("shard_done") == 2
+    assert "shard_retry" in kinds
+    assert "shard_dispatch" in kinds
+    # Sequence numbers are monotone: the stream is replayable in order.
+    assert [event["seq"] for event in events] == list(range(len(events)))

@@ -89,6 +89,50 @@ def test_export_without_iterations(tmp_path):
     assert len(written) == 3
 
 
+def test_export_campaign_with_manifest_and_telemetry(tmp_path, result):
+    from repro.harness.telemetry import (
+        RunManifest,
+        TelemetryWriter,
+        metrics_digest,
+    )
+
+    manifest = RunManifest(
+        campaign_key="k", server="apache", os_codename="nt50",
+        os_display="W2k (sim)", seed=2004, build_fingerprint="f" * 64,
+        faultload_digest="a" * 64, slots=96, workers=4,
+        slots_per_shard=6, num_shards=16, iterations=2,
+        journal_version=2, metrics_digest=metrics_digest(result),
+    )
+    telemetry_path = tmp_path / "raw-telemetry.jsonl"
+    with TelemetryWriter(telemetry_path) as telemetry:
+        telemetry.emit("campaign_start")
+    written = export_campaign(
+        result, tmp_path / "out", manifest=manifest,
+        telemetry_path=telemetry_path,
+    )
+    names = {path.name for path in written}
+    assert "run_manifest.json" in names
+    assert "telemetry.jsonl" in names
+    exported = json.loads(
+        (tmp_path / "out" / "run_manifest.json").read_text()
+    )
+    assert exported["metrics_digest"] == manifest.metrics_digest
+
+
+def test_export_campaign_reports_degradation(tmp_path, result):
+    result.degraded = True
+    result.quarantine = [{
+        "iteration": 1, "shard_index": 3, "first_slot": 18,
+        "num_slots": 6, "fault_ids": ["MFC-x"], "attempts": 3,
+        "failures": ["crash: RuntimeError('boom')"],
+    }]
+    export_campaign(result, tmp_path)
+    payload = json.loads((tmp_path / "campaign.json").read_text())
+    assert payload["degraded"] is True
+    assert payload["quarantine"][0]["shard_index"] == 3
+    assert "DEGRADED" in (tmp_path / "summary.txt").read_text()
+
+
 def test_export_faultload_summary(tmp_path):
     from repro.gswfit.scanner import scan_build
     from repro.ossim.builds import NT50

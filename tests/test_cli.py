@@ -46,3 +46,31 @@ def test_run_defaults():
     assert args.server == "apache"
     assert args.faults == 96
     assert args.connections == 16
+
+
+def test_campaign_supervision_defaults():
+    args = build_parser().parse_args(["campaign"])
+    assert args.shard_timeout is None
+    assert args.max_retries == 2
+    assert args.manifest is None
+    assert args.telemetry is None
+    assert not args.no_baseline
+    assert not args.no_profile
+
+
+def test_campaign_command_writes_manifest(tmp_path, capsys):
+    manifest_path = tmp_path / "run.manifest.json"
+    code = main([
+        "campaign", "--faults", "8", "--connections", "4",
+        "--workers", "1", "--no-baseline", "--no-profile",
+        "--manifest", str(manifest_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "metrics digest:" in out
+    import json
+
+    payload = json.loads(manifest_path.read_text())
+    assert payload["workers"] == 1
+    assert payload["supervision"]["degraded"] is False
+    assert len(payload["metrics_digest"]) == 64
