@@ -141,6 +141,10 @@ def _cmd_campaign(args):
         args, fault_sample=args.faults, connections=args.connections
     )
     config.server_name = args.server
+    config.integrity_audit = not args.no_integrity_audit
+    if args.reboot_budget is not None:
+        config.reboot_budget = args.reboot_budget
+    config.inject_faults = not args.no_inject
     campaign = ParallelCampaign(
         config,
         workers=args.workers,
@@ -177,6 +181,22 @@ def _cmd_campaign(args):
               f"{supervision['pool_rebuilds']} pool rebuilds"
               + (", serial fallback"
                  if supervision.get("serial_fallback") else ""))
+    integrity = manifest.integrity if manifest else {}
+    if integrity.get("enabled"):
+        print(f"integrity: {integrity['contaminated_slots']} "
+              f"contaminated slot(s), {integrity['reboots']} verified "
+              f"reboot(s) (budget {integrity['reboot_budget']}/shard)")
+        if integrity.get("violation_kinds"):
+            kinds = ", ".join(
+                f"{kind}={count}" for kind, count
+                in integrity["violation_kinds"].items()
+            )
+            print(f"  violation kinds: {kinds}")
+        if integrity.get("unrebooted_contamination"):
+            print(f"WARNING: reboot budget exhausted — "
+                  f"{integrity['unrebooted_contamination']} "
+                  f"contaminated slot(s) measured without a reboot",
+                  file=sys.stderr)
     if result.degraded:
         print(f"WARNING: campaign degraded — "
               f"{len(result.quarantine)} shard(s) quarantined:",
@@ -372,6 +392,23 @@ def build_parser():
     campaign.add_argument(
         "--no-profile", action="store_true",
         help="skip the profile-mode (intrusiveness) phase",
+    )
+    campaign.add_argument(
+        "--no-integrity-audit", action="store_true",
+        help="skip the slot-gap state-integrity audits (and the "
+             "verified reboots they trigger)",
+    )
+    campaign.add_argument(
+        "--reboot-budget", type=int, default=None,
+        help="verified machine reboots allowed per shard after "
+             "contaminated slots (default: 2); when exhausted the run "
+             "continues and keeps flagging",
+    )
+    campaign.add_argument(
+        "--no-inject", action="store_true",
+        help="control run: walk the slot protocol with the injector "
+             "attached but swap no code (any integrity violation is an "
+             "auditor false positive — the clean-machine CI gate)",
     )
     campaign.add_argument("--export",
                           help="write results to this directory")

@@ -82,7 +82,10 @@ __all__ = [
     "run_shard",
 ]
 
-JOURNAL_VERSION = 2
+# v3: shard outcomes carry integrity-protocol records (contaminated
+# slots, verified reboots); older journals rerun rather than merge
+# half-schema outcomes.
+JOURNAL_VERSION = 3
 
 
 # ----------------------------------------------------------------------
@@ -138,6 +141,11 @@ class ShardOutcome:
     faults_injected: int
     runtime_stats: dict
     incidents: list = field(default_factory=list)
+    # Integrity protocol: slot-global contamination records and the
+    # shard's verified-reboot log (see SlotRunResult).
+    contaminated_slots: list = field(default_factory=list)
+    reboots: list = field(default_factory=list)
+    integrity_enabled: bool = False
 
     def to_dict(self):
         data = asdict(self)
@@ -149,6 +157,9 @@ class ShardOutcome:
         data = dict(data)
         data["partial"] = MetricsPartial.from_dict(data["partial"])
         data.setdefault("incidents", [])
+        data.setdefault("contaminated_slots", [])
+        data.setdefault("reboots", [])
+        data.setdefault("integrity_enabled", False)
         return cls(**data)
 
 
@@ -175,23 +186,26 @@ def run_shard(config, iteration, shard, mutant_cache_dir=None):
         prepared=True,
     )
     experiment = WebServerExperiment(shard_config)
-    machine, watchdog, windows, faults_injected = experiment.run_slots(
-        faultload, iteration=iteration, mutant_cache_dir=mutant_cache_dir
+    run = experiment.run_slots(
+        faultload, iteration=iteration,
+        mutant_cache_dir=mutant_cache_dir,
+        first_slot=shard.first_slot,
     )
-    partial = machine.client.collector.compute_partial(
-        windows, conformance_group=config.conformance_slots
-    )
+    partial = run.compute_partial(config.conformance_slots)
     return ShardOutcome(
         shard_index=shard.index,
         first_slot=shard.first_slot,
         num_slots=len(shard.locations),
         partial=partial,
-        mis=watchdog.mis,
-        kns=watchdog.kns,
-        kcp=watchdog.kcp,
-        faults_injected=faults_injected,
-        runtime_stats=vars(machine.runtime.stats).copy(),
-        incidents=list(watchdog.incidents),
+        mis=run.mis,
+        kns=run.kns,
+        kcp=run.kcp,
+        faults_injected=run.faults_injected,
+        runtime_stats=dict(run.runtime_stats),
+        incidents=list(run.incidents),
+        contaminated_slots=list(run.contaminated_slots),
+        reboots=list(run.reboots),
+        integrity_enabled=run.integrity_enabled,
     )
 
 
@@ -221,6 +235,16 @@ def merge_outcomes(outcomes, iteration, num_connections):
         for outcome in ordered
         for incident in outcome.incidents
     ]
+    contaminated = [
+        record
+        for outcome in ordered
+        for record in getattr(outcome, "contaminated_slots", [])
+    ]
+    reboots = [
+        record
+        for outcome in ordered
+        for record in getattr(outcome, "reboots", [])
+    ]
     return InjectionIteration(
         iteration=iteration,
         metrics=partial.to_metrics(num_connections),
@@ -232,6 +256,12 @@ def merge_outcomes(outcomes, iteration, num_connections):
         ),
         runtime_stats=runtime_stats,
         incidents=incidents,
+        contaminated_slots=contaminated,
+        reboots=reboots,
+        integrity_enabled=any(
+            getattr(outcome, "integrity_enabled", False)
+            for outcome in ordered
+        ),
     )
 
 
@@ -305,8 +335,10 @@ class CampaignJournal:
     def _append(self, entry):
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry, sort_keys=True))
-            handle.write("\n")
+            # One buffered write per record, newline included: a crash
+            # mid-append can tear at most the final line, which load()
+            # already tolerates.
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
 
@@ -605,6 +637,7 @@ class ParallelCampaign:
         result.quarantine = supervision["quarantined"]
         result.degraded = bool(result.quarantine)
         supervision["degraded"] = result.degraded
+        integrity = self._integrity_summary(result)
         digest = metrics_digest(result)
         self.manifest = RunManifest(
             campaign_key=key,
@@ -622,11 +655,13 @@ class ParallelCampaign:
             journal_version=JOURNAL_VERSION,
             phase_timings=timings,
             supervision=supervision,
+            integrity=integrity,
             metrics_digest=digest,
             created_at=round(time.time(), 6),
         )
         if self.manifest_path is not None:
             self.manifest.write(self.manifest_path)
+        telemetry.emit("integrity_summary", **integrity)
         telemetry.emit(
             "campaign_end",
             degraded=result.degraded,
@@ -634,3 +669,31 @@ class ParallelCampaign:
         )
         telemetry.close()
         return result
+
+    def _integrity_summary(self, result):
+        """Campaign-wide contamination accounting for the manifest."""
+        contaminated = 0
+        reboots = 0
+        unrebooted = 0
+        unverified_reboots = 0
+        kinds = {}
+        for iteration in result.iterations:
+            contaminated += len(iteration.contaminated_slots)
+            reboots += len(iteration.reboots)
+            for record in iteration.contaminated_slots:
+                if not record.get("rebooted"):
+                    unrebooted += 1
+                for kind in record.get("kinds", []):
+                    kinds[kind] = kinds.get(kind, 0) + 1
+            for record in iteration.reboots:
+                if not record.get("verified"):
+                    unverified_reboots += 1
+        return {
+            "enabled": bool(self.config.integrity_audit),
+            "reboot_budget": self.config.reboot_budget,
+            "contaminated_slots": contaminated,
+            "reboots": reboots,
+            "unrebooted_contamination": unrebooted,
+            "unverified_reboots": unverified_reboots,
+            "violation_kinds": dict(sorted(kinds.items())),
+        }

@@ -48,6 +48,21 @@ class ExperimentConfig:
     watchdog_poll_seconds: float = 1.0
     unresponsive_after_seconds: float = 4.0
     restart_grace_seconds: float = 5.0
+    watchdog_max_restart_attempts: int = 5
+
+    # Slot-gap state-integrity auditing (DESIGN.md §10): after each
+    # fault is removed, audit the machine for residual damage; on
+    # contamination perform a verified reboot, at most ``reboot_budget``
+    # times per slot run (budget exhausted = keep running, keep
+    # flagging).
+    integrity_audit: bool = True
+    reboot_budget: int = 2
+
+    # False = control run: walk the full slot protocol with the injector
+    # attached in profile mode but no code swapped.  Any integrity
+    # violation reported in such a run is an auditor false positive —
+    # the clean-machine CI gate relies on this.
+    inject_faults: bool = True
 
     # SPECWeb99 judges connection conformance over whole measurement
     # batches; we group this many consecutive slots per conformance batch.

@@ -17,6 +17,8 @@ for one server/OS pair:
 tracer attached and collect per-function usage.
 """
 
+from dataclasses import dataclass, field
+
 from repro.gswfit.injector import FaultInjector
 from repro.gswfit.mutator import MutantError
 from repro.gswfit.scanner import scan_build
@@ -24,9 +26,69 @@ from repro.harness.machine import ServerMachine
 from repro.harness.results import BenchmarkResult, InjectionIteration
 from repro.harness.watchdog import Watchdog
 from repro.ossim.builds import get_build
+from repro.ossim.integrity import IntegrityAuditor
 from repro.profiling.tracer import ApiCallTracer
+from repro.specweb.metrics import MetricsPartial
+from repro.webservers.runtime import WorkerState
 
-__all__ = ["WebServerExperiment", "profile_servers"]
+__all__ = ["SlotRunResult", "WebServerExperiment", "profile_servers"]
+
+
+@dataclass
+class SlotRunResult:
+    """Everything one slot walk produced, across machine epochs.
+
+    A verified reboot splits the run into *segments* — each a
+    ``(machine, windows)`` pair on its own simulated timeline.  Metrics
+    merge across segments through :class:`MetricsPartial` (associative,
+    slot-ordered), so a run with reboots reduces exactly like a
+    campaign merging shards.
+    """
+
+    segments: list = field(default_factory=list)
+    faults_injected: int = 0
+    mis: int = 0
+    kns: int = 0
+    kcp: int = 0
+    incidents: list = field(default_factory=list)
+    runtime_stats: dict = field(default_factory=dict)
+    # One record per slot whose post-removal audit found violations:
+    # {"slot", "fault_id", "kinds", "violations", "rebooted"}.
+    contaminated_slots: list = field(default_factory=list)
+    # One record per verified reboot: {"after_slot", "verified"}.
+    reboots: list = field(default_factory=list)
+    integrity_enabled: bool = False
+    audits_performed: int = 0
+
+    def compute_partial(self, conformance_group):
+        """Reduce every segment's windows to one mergeable partial."""
+        partials = [
+            machine.client.collector.compute_partial(
+                windows, conformance_group=conformance_group
+            )
+            for machine, windows in self.segments
+            if windows
+        ]
+        return MetricsPartial.merge(partials)
+
+    def compute_metrics(self, num_connections, conformance_group):
+        partial = self.compute_partial(conformance_group)
+        return partial.to_metrics(num_connections)
+
+
+class _Epoch:
+    """One machine generation within a slot run (between reboots)."""
+
+    __slots__ = ("machine", "injector", "watchdog", "auditor", "windows",
+                 "finished")
+
+    def __init__(self, machine, injector, watchdog, auditor):
+        self.machine = machine
+        self.injector = injector
+        self.watchdog = watchdog
+        self.auditor = auditor
+        self.windows = []
+        self.finished = False
 
 
 class WebServerExperiment:
@@ -144,25 +206,19 @@ class WebServerExperiment:
             windows, conformance_group=self.config.conformance_slots
         )
 
-    def run_slots(self, faultload, iteration=0, mutant_cache_dir=None):
-        """Boot a machine and walk ``faultload`` slot by slot (Fig. 4).
+    def _bring_up(self, iteration, mutant_cache_dir):
+        """Boot + inject + watch + warm: one machine epoch, ready to run.
 
-        Returns ``(machine, watchdog, windows, faults_injected)`` with
-        the client paused, the rampdown elapsed, and the watchdog
-        stopped — the raw state both :meth:`run_injection` and the
-        parallel campaign's shard workers reduce to metrics.  The
-        faultload is injected as given (no preparation).  Mutants come
-        from the precompilation cache; ``mutant_cache_dir`` additionally
-        enables its on-disk tier so separate worker processes share one
-        compilation pass.
+        Deterministic for a given ``iteration``: the replacement machine
+        built by a verified reboot is seeded exactly like the original.
         """
         config = self.config
-        rules = config.rules
         machine = self._boot_machine(iteration)
         machine.set_injector_attached(True)
         injector = FaultInjector(
             os_instances=[machine.os_instance],
             mutant_cache_dir=mutant_cache_dir,
+            profile_mode=not config.inject_faults,
         )
         watchdog = Watchdog(
             machine.sim,
@@ -170,57 +226,159 @@ class WebServerExperiment:
             poll_seconds=config.watchdog_poll_seconds,
             unresponsive_after=config.unresponsive_after_seconds,
             restart_grace=config.restart_grace_seconds,
+            max_restart_attempts=config.watchdog_max_restart_attempts,
         )
         self._warm_up(machine)
         watchdog.start()
-        windows = []
-        faults_injected = 0
+        auditor = None
+        if config.integrity_audit:
+            auditor = IntegrityAuditor(machine.kernel)
+            auditor.snapshot(machine.runtime.ctx)
+        return _Epoch(machine, injector, watchdog, auditor)
+
+    @staticmethod
+    def _live_threads(machine):
+        """Thread ids that can still run: main + non-hung workers."""
+        ctx = machine.runtime.ctx
+        threads = set()
+        if ctx is None or ctx.terminated:
+            return threads
+        threads.add(f"{ctx.pid}:main")
+        for worker in machine.runtime.workers:
+            if worker.state != WorkerState.HUNG:
+                threads.add(worker.thread_id)
+        return threads
+
+    def _quiesce_epoch(self, result, epoch, rules):
+        """Retire one machine epoch and fold its counters into result.
+
+        Idempotent: the reboot path and the finally block may both reach
+        the same epoch when a reboot itself fails.
+        """
+        if epoch.finished:
+            return
+        epoch.finished = True
+        epoch.injector.restore_all()
+        epoch.machine.client.pause()
+        epoch.machine.run_for(rules.rampdown_seconds)
+        epoch.watchdog.stop()
+        result.mis += epoch.watchdog.mis
+        result.kns += epoch.watchdog.kns
+        result.kcp += epoch.watchdog.kcp
+        result.incidents.extend(epoch.watchdog.incidents)
+        for key, value in vars(epoch.machine.runtime.stats).items():
+            result.runtime_stats[key] = (
+                result.runtime_stats.get(key, 0) + value
+            )
+        if epoch.auditor is not None:
+            result.audits_performed += epoch.auditor.audits_performed
+        result.segments.append((epoch.machine, epoch.windows))
+
+    def run_slots(self, faultload, iteration=0, mutant_cache_dir=None,
+                  first_slot=0):
+        """Boot a machine and walk ``faultload`` slot by slot (Fig. 4).
+
+        Returns a :class:`SlotRunResult` with every machine epoch
+        quiesced (faults detached, client paused, rampdown elapsed,
+        watchdog stopped) — the raw state both :meth:`run_injection` and
+        the parallel campaign's shard workers reduce to metrics.  The
+        faultload is injected as given (no preparation).  Mutants come
+        from the precompilation cache; ``mutant_cache_dir`` additionally
+        enables its on-disk tier so separate worker processes share one
+        compilation pass.
+
+        Containment protocol (DESIGN.md §10): with integrity auditing
+        enabled, each slot's injection-free gap ends with a state audit.
+        A violating slot is recorded as contaminated and — while the
+        reboot budget lasts — the machine is retired and a verified
+        replacement brought up (same seeds, re-warmed, re-audited
+        clean) before the next slot.  ``first_slot`` offsets slot
+        numbering so shard-local records carry campaign-global indices.
+        """
+        config = self.config
+        rules = config.rules
+        result = SlotRunResult(integrity_enabled=config.integrity_audit)
+        epoch = self._bring_up(iteration, mutant_cache_dir)
         try:
-            for location in faultload:
+            for index, location in enumerate(faultload):
+                machine = epoch.machine
+                slot = first_slot + index
                 slot_start = machine.sim.now
                 try:
-                    injector.inject(location)
-                    faults_injected += 1
+                    epoch.injector.inject(location)
+                    result.faults_injected += 1
                 except MutantError:
                     # Unresolvable site (stale faultload): skip the slot.
                     continue
                 machine.sim.run_until(slot_start + rules.slot_seconds)
-                injector.restore(location)
-                windows.append(
+                epoch.injector.restore(location)
+                epoch.windows.append(
                     (slot_start, slot_start + rules.slot_seconds)
                 )
                 # Injection-free gap: workload paused, watchdog repairs.
                 machine.client.pause()
                 machine.run_for(rules.slot_gap_seconds)
-                watchdog.check_now()
+                epoch.watchdog.check_now(retry_exhausted=True)
+                if epoch.auditor is not None:
+                    report = epoch.auditor.audit(
+                        machine.runtime.ctx, self._live_threads(machine)
+                    )
+                    if not report.clean:
+                        record = {
+                            "fault_id": location.fault_id,
+                            "kinds": report.kinds(),
+                            "rebooted": False,
+                            "slot": slot,
+                            "violations": len(report.violations),
+                        }
+                        result.contaminated_slots.append(record)
+                        if len(result.reboots) < config.reboot_budget:
+                            # Verified reboot: retire the contaminated
+                            # machine, bring up a deterministic
+                            # replacement, prove it clean, carry on at
+                            # the next slot.
+                            self._quiesce_epoch(result, epoch, rules)
+                            epoch = self._bring_up(
+                                iteration, mutant_cache_dir
+                            )
+                            verify = epoch.auditor.audit(
+                                epoch.machine.runtime.ctx,
+                                self._live_threads(epoch.machine),
+                            )
+                            record["rebooted"] = True
+                            result.reboots.append({
+                                "after_slot": slot,
+                                "verified": verify.clean,
+                            })
+                            continue
+                        # Budget exhausted: degrade gracefully — keep
+                        # running, keep flagging contaminated slots.
                 machine.client.resume()
         finally:
             # Even if a slot raises, leave the machine quiesced: faults
             # detached, client paused, watchdog no longer polling.
-            injector.restore_all()
-            machine.client.pause()
-            machine.run_for(rules.rampdown_seconds)
-            watchdog.stop()
-        return machine, watchdog, windows, faults_injected
+            self._quiesce_epoch(result, epoch, rules)
+        return result
 
     def run_injection(self, faultload=None, iteration=0):
         """One full pass over the faultload (one Table 5 iteration)."""
         faultload = self.prepared_faultload(faultload)
-        machine, watchdog, windows, faults_injected = self.run_slots(
-            faultload, iteration=iteration
-        )
-        metrics = machine.client.collector.compute(
-            windows, conformance_group=self.config.conformance_slots
+        run = self.run_slots(faultload, iteration=iteration)
+        metrics = run.compute_metrics(
+            self.config.client.connections, self.config.conformance_slots
         )
         return InjectionIteration(
             iteration=iteration,
             metrics=metrics,
-            mis=watchdog.mis,
-            kns=watchdog.kns,
-            kcp=watchdog.kcp,
-            faults_injected=faults_injected,
-            runtime_stats=vars(machine.runtime.stats).copy(),
-            incidents=list(watchdog.incidents),
+            mis=run.mis,
+            kns=run.kns,
+            kcp=run.kcp,
+            faults_injected=run.faults_injected,
+            runtime_stats=dict(run.runtime_stats),
+            incidents=list(run.incidents),
+            contaminated_slots=list(run.contaminated_slots),
+            reboots=list(run.reboots),
+            integrity_enabled=run.integrity_enabled,
         )
 
     # ------------------------------------------------------------------

@@ -23,15 +23,30 @@ class InjectionIteration:
     faults_injected: int
     runtime_stats: dict = field(default_factory=dict)
     # Per-incident ADMf detail from the watchdog: {"t": sim_time,
-    # "kind": "MIS"|"KNS"|"KCP"}, ordered by slot then sim time.
+    # "kind": "MIS"|"KNS"|"KCP"|"RESTART_EXHAUSTED"}, ordered by slot
+    # then sim time.
     incidents: list = field(default_factory=list)
+    # Integrity protocol (DESIGN.md §10): per-slot contamination records
+    # ({"slot", "fault_id", "kinds", "violations", "rebooted"}), the
+    # verified-reboot log ({"after_slot", "verified"}), and whether
+    # auditing ran at all (False = RES is unknowable, not zero).
+    contaminated_slots: list = field(default_factory=list)
+    reboots: list = field(default_factory=list)
+    integrity_enabled: bool = False
 
     @property
     def admf(self):
         return self.mis + self.kns + self.kcp
 
+    @property
+    def residual_errors(self):
+        """Slots measured on a state-damaged machine (None = not audited)."""
+        if not self.integrity_enabled:
+            return None
+        return len(self.contaminated_slots)
+
     def as_row(self):
-        """The paper's Table 5 row shape."""
+        """The paper's Table 5 row shape (plus the RES audit column)."""
         return {
             "SPC": self.metrics.spc,
             "THR": self.metrics.thr,
@@ -40,6 +55,7 @@ class InjectionIteration:
             "MIS": self.mis,
             "KCP": self.kcp,
             "KNS": self.kns,
+            "RES": self.residual_errors,
         }
 
 
@@ -73,14 +89,25 @@ class BenchmarkResult:
 
 
 def average_iterations(iterations):
-    """Average the Table 5 row values over iterations (paper's last row)."""
+    """Average the Table 5 row values over iterations (paper's last row).
+
+    ``RES`` is None for unaudited iterations; it averages over audited
+    iterations only and stays None when there are none.
+    """
     if not iterations:
         return {}
     keys = ["SPC", "THR", "RTM", "ER%", "MIS", "KCP", "KNS"]
     totals = {key: 0.0 for key in keys}
+    res_total = 0.0
+    res_count = 0
     for iteration in iterations:
         row = iteration.as_row()
         for key in keys:
             totals[key] += row[key]
+        if row.get("RES") is not None:
+            res_total += row["RES"]
+            res_count += 1
     count = len(iterations)
-    return {key: value / count for key, value in totals.items()}
+    averaged = {key: value / count for key, value in totals.items()}
+    averaged["RES"] = res_total / res_count if res_count else None
+    return averaged

@@ -366,6 +366,13 @@ class ShardSupervisor:
             value = getattr(outcome, counter, None)
             if value is not None:
                 event[counter] = value
+        # Integrity protocol: surface per-shard contamination and reboot
+        # counts in the event stream (the records themselves travel in
+        # the outcome).
+        for counter in ("contaminated_slots", "reboots"):
+            value = getattr(outcome, counter, None)
+            if value is not None:
+                event[counter] = len(value)
         self.telemetry.emit("shard_done", **event)
         if on_outcome is not None:
             on_outcome(outcome)

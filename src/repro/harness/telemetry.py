@@ -43,7 +43,8 @@ __all__ = [
     "read_telemetry",
 ]
 
-MANIFEST_VERSION = 1
+# v2: integrity summary (contaminated slots, verified reboots).
+MANIFEST_VERSION = 2
 TELEMETRY_VERSION = 1
 
 
@@ -92,8 +93,12 @@ class TelemetryWriter:
         }
         entry.update(fields)
         self._sequence += 1
-        self._handle.write(json.dumps(entry, sort_keys=True, default=str))
-        self._handle.write("\n")
+        # One buffered write per event, newline included, flushed before
+        # returning: a crash can tear at most the final line, and two
+        # writers never interleave a record with its newline.
+        self._handle.write(
+            json.dumps(entry, sort_keys=True, default=str) + "\n"
+        )
         self._handle.flush()
 
     def close(self):
@@ -155,6 +160,13 @@ def metrics_digest(result):
                 "faults_injected": iteration.faults_injected,
                 "runtime_stats": iteration.runtime_stats,
                 "incidents": iteration.incidents,
+                "contaminated_slots": getattr(
+                    iteration, "contaminated_slots", []
+                ),
+                "reboots": getattr(iteration, "reboots", []),
+                "integrity_enabled": getattr(
+                    iteration, "integrity_enabled", False
+                ),
             }
             for iteration in result.iterations
         ],
@@ -196,6 +208,10 @@ class RunManifest:
       baseline, profile mode, each iteration).
     * ``supervision`` — retries, pool rebuilds, serial fallback, and
       the quarantined shards (with their fault ids), plus ``degraded``.
+    * ``integrity`` — the integrity-protocol summary: whether auditing
+      ran, the per-shard reboot budget, campaign totals for
+      contaminated slots / verified reboots / contamination left in
+      place after budget exhaustion, and a violation-kind histogram.
     * ``metrics_digest`` — :func:`metrics_digest` of the final result;
       the determinism gate's comparand.
     * ``created_at`` — unix time the manifest was written.
@@ -216,6 +232,7 @@ class RunManifest:
     journal_version: int
     phase_timings: dict = dataclasses.field(default_factory=dict)
     supervision: dict = dataclasses.field(default_factory=dict)
+    integrity: dict = dataclasses.field(default_factory=dict)
     metrics_digest: str = ""
     created_at: float = 0.0
     manifest_version: int = MANIFEST_VERSION

@@ -12,8 +12,13 @@ like the paper's tooling, producing the three administration counters:
   had to be killed.
 
 A restart attempted while the fault is still active can fail (the child
-crashes during startup); the watchdog keeps trying on its polling cadence
-but counts the death only once per incident.
+crashes during startup); the watchdog retries on its polling cadence but
+counts the death only once per incident.  Retries per incident are capped
+(``max_restart_attempts``): a fault that keeps killing the child at
+startup would otherwise turn every poll into a futile restart storm.  At
+the cap the watchdog records one ``RESTART_EXHAUSTED`` incident and waits;
+the harness re-arms it from the slot gap (``retry_exhausted=True``) once
+the fault has been removed, when a restart can actually succeed.
 """
 
 __all__ = ["Watchdog"]
@@ -23,11 +28,16 @@ class Watchdog:
     """Polls one server runtime and repairs it."""
 
     def __init__(self, sim, runtime, poll_seconds=1.0,
-                 unresponsive_after=4.0, restart_grace=5.0):
+                 unresponsive_after=4.0, restart_grace=5.0,
+                 max_restart_attempts=5):
         self.sim = sim
         self.runtime = runtime
         self.poll_seconds = poll_seconds
         self.unresponsive_after = unresponsive_after
+        # Consecutive *failed* restart attempts allowed per death
+        # incident before the watchdog stops storming and waits for the
+        # harness to re-arm it (fault removed at the slot boundary).
+        self.max_restart_attempts = max_restart_attempts
         # After killing and restarting the server, give it this long to
         # prove itself before judging responsiveness again — otherwise a
         # stale last-success timestamp earns an immediate second kill.
@@ -42,6 +52,8 @@ class Watchdog:
         self.incidents = []
         self.restarts_performed = 0
         self._death_counted = False
+        self._failed_restart_attempts = 0
+        self._exhaustion_recorded = False
         self._last_restart_time = float("-inf")
         self._poll_event = None
         self._running = False
@@ -71,20 +83,43 @@ class Watchdog:
         self.check_now()
         self._poll_event = self.sim.schedule(self.poll_seconds, self._poll)
 
-    def check_now(self):
-        """One health check + repair cycle (also used at slot cleanup)."""
+    def check_now(self, retry_exhausted=False):
+        """One health check + repair cycle (also used at slot cleanup).
+
+        ``retry_exhausted=True`` (the slot-gap call, after the fault has
+        been removed) grants an exhausted incident a fresh attempt
+        budget — a restart can succeed now that nothing kills startup.
+        """
         runtime = self.runtime
         if runtime.is_dead():
             if not self._death_counted:
                 self.mis += 1
                 self._record_incident("MIS")
                 self._death_counted = True
+            if retry_exhausted and self._exhaustion_recorded:
+                self._failed_restart_attempts = 0
+                self._exhaustion_recorded = False
+            if self._failed_restart_attempts >= self.max_restart_attempts:
+                if not self._exhaustion_recorded:
+                    self._record_incident("RESTART_EXHAUSTED")
+                    self._exhaustion_recorded = True
+                return
             if runtime.restart():
                 self._death_counted = False
                 self.restarts_performed += 1
                 self._last_restart_time = self.sim.now
+                self._failed_restart_attempts = 0
+                self._exhaustion_recorded = False
+            else:
+                self._failed_restart_attempts += 1
+                if (self._failed_restart_attempts
+                        >= self.max_restart_attempts):
+                    self._record_incident("RESTART_EXHAUSTED")
+                    self._exhaustion_recorded = True
             return
         self._death_counted = False
+        self._failed_restart_attempts = 0
+        self._exhaustion_recorded = False
         in_grace = (
             self.sim.now - self._last_restart_time < self.restart_grace
         )

@@ -167,6 +167,7 @@ class OltpExperiment:
             poll_seconds=config.watchdog_poll_seconds,
             unresponsive_after=config.unresponsive_after_seconds,
             restart_grace=config.restart_grace_seconds,
+            max_restart_attempts=config.watchdog_max_restart_attempts,
         )
         machine.client.start()
         machine.run_for(rules.warmup_seconds + rules.rampup_seconds)
@@ -188,7 +189,9 @@ class OltpExperiment:
                 )
                 machine.client.pause()
                 machine.run_for(rules.slot_gap_seconds)
-                watchdog.check_now()
+                # The fault is gone: re-arm an exhausted restart budget
+                # so an engine the fault kept killing can come back.
+                watchdog.check_now(retry_exhausted=True)
                 machine.client.resume()
         finally:
             injector.restore_all()

@@ -22,9 +22,17 @@ from repro.ossim.status import NtStatus, nt_success
 from repro.ossim.context import ProcessContext, SimKernel
 from repro.ossim.dispatch import ApiTable, OsInstance
 from repro.ossim.builds import NT50, NT51, OsBuild, get_build
+from repro.ossim.integrity import (
+    IntegrityAuditor,
+    IntegrityReport,
+    IntegrityViolation,
+)
 
 __all__ = [
     "ApiTable",
+    "IntegrityAuditor",
+    "IntegrityReport",
+    "IntegrityViolation",
     "NT50",
     "NT51",
     "NtStatus",

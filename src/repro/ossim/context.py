@@ -74,6 +74,11 @@ class ProcessContext:
         # lookaside counters).  Lives and dies with the process, like
         # any other user-mode OS state.
         self.os_state = {}
+        # Heap footprint at the end of a successful startup, recorded by
+        # the runtime that spawned us.  The integrity auditor's leak
+        # baseline: at quiesce (no request in flight) a clean process is
+        # back to exactly this footprint.
+        self.startup_footprint = None
 
     # ------------------------------------------------------------------
     # Hooks used by the mutable OS API code
@@ -93,6 +98,13 @@ class ProcessContext:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def record_startup_footprint(self):
+        """Freeze the current heap footprint as the leak baseline."""
+        self.startup_footprint = {
+            "heap_blocks": self.heap.live_blocks(),
+            "heap_bytes": self.heap.live_bytes,
+        }
+
     def thread_died(self, thread_id):
         """Release kernel resources still held by a dead worker thread."""
         return self.sync.release_thread(thread_id)

@@ -68,7 +68,9 @@ class OsInstance:
         stop paying for tracing the moment it is detached.
         """
         self.tracer = tracer
-        for table in self._tables:
+        # Snapshot first: a GC-triggered WeakSet removal mid-iteration
+        # raises "set changed size during iteration".
+        for table in list(self._tables):
             table._rebind()
 
     def new_process(self, cpu=None, name="process"):

@@ -60,6 +60,9 @@ def export_campaign(result, directory, config=None, manifest=None,
                 "faults_injected": iteration.faults_injected,
                 "runtime_stats": iteration.runtime_stats,
                 "incidents": iteration.incidents,
+                "contaminated_slots": iteration.contaminated_slots,
+                "reboots": iteration.reboots,
+                "integrity_enabled": iteration.integrity_enabled,
             }
             for iteration in result.iterations
         ],
@@ -85,7 +88,8 @@ def export_campaign(result, directory, config=None, manifest=None,
     written.append(json_path)
 
     table = TableBuilder(
-        ["iteration", "SPC", "THR", "RTM", "ER%", "MIS", "KCP", "KNS"]
+        ["iteration", "SPC", "THR", "RTM", "ER%", "MIS", "KCP", "KNS",
+         "RES"]
     )
     for iteration in result.iterations:
         row = iteration.as_row()
@@ -93,6 +97,7 @@ def export_campaign(result, directory, config=None, manifest=None,
             iteration.iteration, f"{row['SPC']:.2f}",
             f"{row['THR']:.2f}", f"{row['RTM']:.2f}",
             f"{row['ER%']:.2f}", row["MIS"], row["KCP"], row["KNS"],
+            row["RES"],
         )
     csv_path = directory / "iterations.csv"
     csv_path.write_text(table.to_csv())
@@ -107,7 +112,9 @@ def export_campaign(result, directory, config=None, manifest=None,
     if average:
         summary_lines.append(
             "average: " + ", ".join(
-                f"{key}={value:.2f}" for key, value in average.items()
+                f"{key}={value:.2f}" if value is not None
+                else f"{key}=-"
+                for key, value in average.items()
             )
         )
     if result.degraded:

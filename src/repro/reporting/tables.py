@@ -4,6 +4,8 @@ __all__ = ["TableBuilder", "format_table"]
 
 
 def _cell(value):
+    if value is None:
+        return "-"  # not measured (e.g. RES with auditing off)
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)

@@ -144,6 +144,7 @@ class ServerRuntime:
             self.stats.startup_failures += 1
             ctx.terminate()
             return False
+        ctx.record_startup_footprint()
         self.ctx = ctx
         self.workers = [
             _Worker(index, ctx.pid)

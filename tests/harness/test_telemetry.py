@@ -75,6 +75,40 @@ def test_read_telemetry_drops_torn_final_line(tmp_path):
     ]
 
 
+def test_emit_is_one_complete_write(tmp_path):
+    """Regression: emit() used to issue several handle.write() calls per
+    event, so a crash mid-emit could tear a line in the middle of the
+    stream — which read_telemetry treats as corruption.  One buffered
+    write per record confines any tear to the final line."""
+    path = tmp_path / "telemetry.jsonl"
+    writes = []
+    with TelemetryWriter(path) as telemetry:
+        original = telemetry._handle.write
+
+        def recording_write(text):
+            writes.append(text)
+            return original(text)
+
+        telemetry._handle.write = recording_write
+        telemetry.emit("alpha", detail={"nested": [1, 2]})
+        telemetry.emit("beta")
+    assert len(writes) == 2
+    for text in writes:
+        assert text.endswith("\n")
+        assert text.count("\n") == 1
+        json.loads(text)  # each write is a whole, parseable record
+
+
+def test_journal_append_is_one_complete_write(tmp_path):
+    from repro.harness.campaign import CampaignJournal
+
+    journal = CampaignJournal(tmp_path / "campaign.jsonl")
+    journal.write_header("k", num_shards=4, iterations=1)
+    text = journal.path.read_text()
+    assert text.endswith("\n")
+    json.loads(text.rstrip("\n"))
+
+
 def test_read_telemetry_raises_on_mid_stream_corruption(tmp_path):
     path = tmp_path / "telemetry.jsonl"
     path.write_text('{"seq": 0, "event": "ok"}\nnot json\n'

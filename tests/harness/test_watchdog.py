@@ -139,3 +139,58 @@ def test_check_now_usable_without_polling(world):
     runtime.dead = True
     watchdog.check_now()
     assert watchdog.mis == 1
+
+
+def test_restart_storm_capped_at_max_attempts():
+    """Regression: a fault that kills the child at startup turned every
+    poll into a futile restart — unbounded restart storm."""
+    sim = Simulator()
+    runtime = FakeRuntime()
+    watchdog = Watchdog(sim, runtime, poll_seconds=1.0,
+                        max_restart_attempts=5)
+    runtime.dead = True
+    runtime.restart_results = [False] * 100
+    watchdog.start()
+    sim.run_until(50.0)
+    assert runtime.restart_calls == 5  # capped, not one per poll
+    assert watchdog.mis == 1  # still a single death incident
+    exhausted = [i for i in watchdog.incidents
+                 if i["kind"] == "RESTART_EXHAUSTED"]
+    assert len(exhausted) == 1  # recorded once, not per poll
+
+
+def test_retry_exhausted_rearms_the_budget():
+    sim = Simulator()
+    runtime = FakeRuntime()
+    watchdog = Watchdog(sim, runtime, poll_seconds=1.0,
+                        max_restart_attempts=2)
+    runtime.dead = True
+    runtime.restart_results = [False] * 10
+    watchdog.start()
+    sim.run_until(10.0)
+    assert runtime.restart_calls == 2
+    # The slot gap removed the fault: a re-armed attempt now succeeds.
+    runtime.restart_results = []
+    watchdog.check_now(retry_exhausted=True)
+    assert not runtime.dead
+    assert runtime.restart_calls == 3
+    assert watchdog.restarts_performed == 1
+    # A later death gets a fresh budget of its own.
+    runtime.dead = True
+    runtime.restart_results = [False]
+    sim.run_until(11.5)
+    assert runtime.restart_calls == 4
+    assert watchdog.mis == 2
+
+
+def test_plain_check_now_does_not_rearm_exhausted_budget():
+    sim = Simulator()
+    runtime = FakeRuntime()
+    watchdog = Watchdog(sim, runtime, poll_seconds=1.0,
+                        max_restart_attempts=1)
+    runtime.dead = True
+    runtime.restart_results = [False] * 10
+    watchdog.check_now()
+    watchdog.check_now()
+    watchdog.check_now()
+    assert runtime.restart_calls == 1
