@@ -1,16 +1,28 @@
-"""Compare two ``BENCH_hot_path.json`` records and fail on regression.
+"""Compare two bench records and fail on regression.
 
-CI uses this as the bench-regression gate: the checked-in record is the
-baseline, the record the bench job just produced is the candidate, and
-a drop of more than ``--tolerance`` (default 30%) in either tracked
-speedup fails the build.
+CI uses this for two gates:
 
-Speedups are ratios (warm vs cold on the *same* host), so they are
-largely machine-independent — which is what makes a cross-host
-comparison against a checked-in record meaningful at all.  Records
-taken in different modes (smoke vs full) are *not* comparable: smoke
-mode shrinks the workloads below the ratio's stable regime, so the
-script refuses the comparison instead of producing noise.
+* **bench-regression** — ``BENCH_hot_path.json``: the checked-in record
+  is the baseline, the record the bench job just produced is the
+  candidate, and a drop of more than ``--tolerance`` (default 30%) in
+  either tracked speedup fails the build.
+* **activation-gate** — ``BENCH_activation.json``: the fine-tuned
+  campaign's overall fault-activation rate must not drop more than
+  ``--tolerance`` below the recorded floor.
+
+Speedups are ratios (warm vs cold on the *same* host) and activation
+rates are workload facts, so both are largely machine-independent —
+which is what makes a cross-host comparison against a checked-in record
+meaningful at all.  Records taken in different modes (smoke vs full)
+are *not* comparable: smoke mode shrinks the workloads below the
+metrics' stable regime, so the script refuses the comparison instead of
+producing noise.
+
+A *missing*, unparseable, or older-schema **baseline** is a warning,
+not a failure: the gate degrades to "nothing to compare against" (exit
+0) so a freshly added bench — whose record lands in the same PR — does
+not fail CI before its baseline exists.  A broken **fresh** record is
+always a failure: the bench that just ran must produce its metrics.
 
 Usage::
 
@@ -21,11 +33,17 @@ import argparse
 import json
 import sys
 
-# (section, key, label) for every speedup the gate tracks.
-TRACKED = [
-    ("repeat_injection", "speedup", "warm-inject speedup"),
-    ("single_pass_scan", "speedup", "single-pass-scan speedup"),
-]
+# bench kind -> (section, key, label) for every metric that kind gates
+# on.  Lower values fail; all tracked metrics are higher-is-better.
+BENCH_KINDS = {
+    "hot_path": [
+        ("repeat_injection", "speedup", "warm-inject speedup"),
+        ("single_pass_scan", "speedup", "single-pass-scan speedup"),
+    ],
+    "activation": [
+        ("activation", "rate", "fine-tuned activation rate"),
+    ],
+}
 
 
 def load_record(path):
@@ -33,10 +51,10 @@ def load_record(path):
         return json.load(handle)
 
 
-def compare(baseline, fresh, tolerance):
+def compare(tracked, baseline, fresh, tolerance):
     """Returns a list of (label, base, new, ok) rows."""
     rows = []
-    for section, key, label in TRACKED:
+    for section, key, label in tracked:
         base = baseline.get(section, {}).get(key)
         new = fresh.get(section, {}).get(key)
         if base is None or new is None:
@@ -45,6 +63,12 @@ def compare(baseline, fresh, tolerance):
         floor = base * (1.0 - tolerance)
         rows.append((label, base, new, new >= floor))
     return rows
+
+
+def _warn_skip(reason):
+    print(f"WARNING: {reason} — skipping bench comparison",
+          file=sys.stderr)
+    return 0
 
 
 def main(argv=None):
@@ -57,8 +81,33 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
-    baseline = load_record(args.baseline)
+    try:
+        baseline = load_record(args.baseline)
+    except FileNotFoundError:
+        return _warn_skip(f"baseline record {args.baseline!r} not found")
+    except (json.JSONDecodeError, OSError, UnicodeDecodeError) as error:
+        return _warn_skip(
+            f"baseline record {args.baseline!r} unreadable ({error})"
+        )
+    if not isinstance(baseline, dict):
+        return _warn_skip(
+            f"baseline record {args.baseline!r} is not a JSON object"
+        )
+
     fresh = load_record(args.fresh)
+    kind = fresh.get("bench")
+    tracked = BENCH_KINDS.get(kind)
+    if tracked is None:
+        print(f"unknown bench kind {kind!r} in fresh record "
+              f"(expected one of {sorted(BENCH_KINDS)})", file=sys.stderr)
+        return 2
+    if baseline.get("bench") != kind:
+        # Pre-"bench"-field records and records of another kind alike:
+        # an older schema is a stale floor, not a regression.
+        return _warn_skip(
+            f"baseline record {args.baseline!r} is not a {kind!r} bench "
+            f"(bench={baseline.get('bench')!r}; older schema?)"
+        )
     if baseline.get("smoke") != fresh.get("smoke"):
         print(
             "bench records not comparable: one is a smoke run "
@@ -68,17 +117,20 @@ def main(argv=None):
         )
         return 2
 
-    rows = compare(baseline, fresh, args.tolerance)
+    rows = compare(tracked, baseline, fresh, args.tolerance)
     failed = False
     for label, base, new, ok in rows:
-        if base is None or new is None:
-            print(f"FAIL {label}: missing from "
-                  f"{'baseline' if base is None else 'fresh'} record")
+        if base is None:
+            print(f"WARNING: {label} missing from baseline record — "
+                  f"skipped", file=sys.stderr)
+            continue
+        if new is None:
+            print(f"FAIL {label}: missing from fresh record")
             failed = True
             continue
         delta = (new - base) / base * 100.0
         status = "ok" if ok else "REGRESSION"
-        print(f"{status:>10}  {label}: {base:.1f}x -> {new:.1f}x "
+        print(f"{status:>10}  {label}: {base:.4g} -> {new:.4g} "
               f"({delta:+.1f}%)")
         failed = failed or not ok
     if failed:

@@ -50,6 +50,21 @@ def _add_common(parser):
     )
 
 
+def _add_activation(parser):
+    parser.add_argument(
+        "--adaptive-slots", action="store_true",
+        help="truncate a slot once the faulted function's profiled "
+             "activation deadline passes with zero probe hits; cuts "
+             "campaign time, deterministic for any worker count",
+    )
+    parser.add_argument(
+        "--no-track-activation", action="store_true",
+        help="disable fault-activation probes (the ACT%% column and "
+             "adaptive slots need them; mutants revert to unprobed "
+             "bytecode)",
+    )
+
+
 def _make_config(args, **overrides):
     config = ExperimentConfig.scaled(**overrides)
     config.os_codename = args.os_codename
@@ -125,6 +140,8 @@ def _cmd_run(args):
         args, fault_sample=args.faults, connections=args.connections
     )
     config.server_name = args.server
+    config.track_activation = not args.no_track_activation
+    config.adaptive_slots = args.adaptive_slots
     experiment = WebServerExperiment(config)
     result = experiment.run_campaign()
     _print_campaign_result(args, config, result)
@@ -145,6 +162,8 @@ def _cmd_campaign(args):
     if args.reboot_budget is not None:
         config.reboot_budget = args.reboot_budget
     config.inject_faults = not args.no_inject
+    config.track_activation = not args.no_track_activation
+    config.adaptive_slots = args.adaptive_slots
     campaign = ParallelCampaign(
         config,
         workers=args.workers,
@@ -197,6 +216,19 @@ def _cmd_campaign(args):
                   f"{integrity['unrebooted_contamination']} "
                   f"contaminated slot(s) measured without a reboot",
                   file=sys.stderr)
+    activation = manifest.activation if manifest else {}
+    if activation.get("enabled"):
+        rate = activation.get("activation_rate")
+        rate_text = "n/a" if rate is None else f"{100.0 * rate:.1f}%"
+        print(f"activation: {activation['faults_activated']} of "
+              f"{activation['faults_injected']} fault(s) activated "
+              f"({rate_text})")
+        if activation.get("adaptive"):
+            print(f"  adaptive slots: {activation['slots_truncated']} "
+                  f"truncated, {activation['sim_seconds_saved']:.1f} "
+                  f"sim-seconds saved "
+                  f"({activation['deadline_functions']} profiled "
+                  f"deadline(s))")
     if result.degraded:
         print(f"WARNING: campaign degraded — "
               f"{len(result.quarantine)} shard(s) quarantined:",
@@ -325,6 +357,7 @@ def build_parser():
     run.add_argument("--faults", type=int, default=96,
                      help="faultload subsample size (None-like: 0 = full)")
     run.add_argument("--connections", type=int, default=16)
+    _add_activation(run)
     run.add_argument("--export", help="write results to this directory")
     run.set_defaults(func=_cmd_run)
 
@@ -410,6 +443,7 @@ def build_parser():
              "attached but swap no code (any integrity violation is an "
              "auditor false positive — the clean-machine CI gate)",
     )
+    _add_activation(campaign)
     campaign.add_argument("--export",
                           help="write results to this directory")
     campaign.set_defaults(func=_cmd_campaign)

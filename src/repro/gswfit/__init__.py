@@ -24,6 +24,11 @@ from repro.gswfit.scanner import scan_build, scan_function, scan_module
 from repro.gswfit.mutator import build_mutant, mutated_source
 from repro.gswfit.injector import FaultInjector, FitBoundaryError
 from repro.gswfit.operators import operator_for, operator_library
+from repro.gswfit.activation import (
+    ACTIVATION_HOOK,
+    ActivationRecord,
+    ActivationTracker,
+)
 from repro.gswfit.cache import (
     build_mutant_cached,
     clear_mutant_cache,
@@ -34,6 +39,9 @@ from repro.gswfit.cache import (
 )
 
 __all__ = [
+    "ACTIVATION_HOOK",
+    "ActivationRecord",
+    "ActivationTracker",
     "FaultInjector",
     "FitBoundaryError",
     "build_mutant",

@@ -1,0 +1,119 @@
+"""Fault-activation tracking (the probe behind the ACT% column).
+
+The paper's fine-tuning step (Table 2) exists to *maximize the
+probability that an injected fault is activated* — that its mutated code
+actually executes during the slot.  Historically the harness could not
+observe activation at all: every slot ran its full window whether or not
+the faulty code was ever reached, and the fine-tuning ablation had to
+infer activation from API-call traces.
+
+This module provides direct observation.  When an
+:class:`ActivationTracker` is attached, mutants are compiled with a
+one-statement entry probe::
+
+    __gswfit_activation__("<fault_id>")
+
+as the first statement of the mutated function
+(:func:`~repro.gswfit.mutator.build_mutant` with ``probed=True``).  The
+hook name resolves through the FIT module's globals — the injector
+installs :meth:`ActivationTracker.record` there for exactly the lifetime
+of the injection — so the probe fires on every execution of the faulty
+code, whoever the caller is (API dispatch or an intra-module call).
+
+Cost model:
+
+* **Untracked** runs compile the mutant *without* the probe statement —
+  the swapped code is byte-identical to what the harness always
+  produced, so disabling activation tracking costs literally nothing.
+* **Tracked** runs pay one global lookup, one call and one dict lookup
+  per execution of a *mutated* function — pristine functions are never
+  instrumented, so the workload's steady state is untouched.
+
+The tracker's clock is the simulated time source of the machine under
+benchmark, so first-hit timestamps are deterministic and may flow into
+``metrics_digest``.
+"""
+
+__all__ = ["ACTIVATION_HOOK", "ActivationRecord", "ActivationTracker"]
+
+# The global name probed mutants call; the injector publishes the
+# tracker's record method under this name in the FIT module for the
+# lifetime of the injection.
+ACTIVATION_HOOK = "__gswfit_activation__"
+
+
+class ActivationRecord:
+    """Hit count + first-hit sim-timestamp for one injected fault."""
+
+    __slots__ = ("fault_id", "hits", "first_hit")
+
+    def __init__(self, fault_id):
+        self.fault_id = fault_id
+        self.hits = 0
+        self.first_hit = None
+
+    def __repr__(self):
+        return (
+            f"ActivationRecord({self.fault_id!r}, hits={self.hits}, "
+            f"first_hit={self.first_hit})"
+        )
+
+
+class ActivationTracker:
+    """Per-machine activation observer.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current *simulated* time
+        (e.g. ``machine.sim``'s ``now``).  Activation timestamps must be
+        sim-time so they are pure functions of ``(config, seed,
+        faultload)`` and can participate in the deterministic metrics
+        digest.
+    """
+
+    __slots__ = ("clock", "records")
+
+    def __init__(self, clock):
+        self.clock = clock
+        self.records = {}
+
+    def begin(self, fault_id):
+        """Open a record for a fault about to be injected."""
+        if fault_id not in self.records:
+            self.records[fault_id] = ActivationRecord(fault_id)
+
+    def record(self, fault_id):
+        """The probe target: called on every execution of a mutant.
+
+        Must never raise — an exception here would surface inside the
+        faulty function and be misattributed to the injected fault.
+        """
+        entry = self.records.get(fault_id)
+        if entry is None:
+            # A probe fired for a fault the harness did not open
+            # (defensive: e.g. a stale swap); record it anyway.
+            entry = self.records[fault_id] = ActivationRecord(fault_id)
+        entry.hits += 1
+        if entry.first_hit is None:
+            entry.first_hit = self.clock()
+
+    def hits(self, fault_id):
+        """Hit count so far for ``fault_id`` (0 when never activated)."""
+        entry = self.records.get(fault_id)
+        return entry.hits if entry is not None else 0
+
+    def take(self, fault_id):
+        """Remove and return the record for ``fault_id`` (or None).
+
+        The harness harvests each slot's record after the fault is
+        restored, so a tracker never grows beyond the faults currently
+        in flight.
+        """
+        return self.records.pop(fault_id, None)
+
+    def __len__(self):
+        return len(self.records)
+
+    def __repr__(self):
+        return f"ActivationTracker(open={len(self.records)})"

@@ -23,8 +23,9 @@ every call/slot.  This module caches each at two levels:
 
 The scan cache key is ``(build codename, library fingerprint,
 include_internal)``; the mutant cache key is ``(source fingerprint,
-fault_id)`` where the source fingerprint hashes the target function's
-current source plus the operator's implementation.  Fingerprints hash
+fault_id, probed)`` where the source fingerprint hashes the target
+function's current source plus the operator's implementation and
+``probed`` distinguishes activation-instrumented variants.  Fingerprints hash
 the source they depend on, so editing it invalidates the cache
 automatically — stale entries are simply never looked up again (their
 key no longer matches) and can be garbage-collected at leisure.
@@ -211,15 +212,18 @@ def mutant_fingerprint(location, function=None):
     return hasher.hexdigest()
 
 
-def mutant_cache_path(cache_dir, fingerprint, fault_id):
+def mutant_cache_path(cache_dir, fingerprint, fault_id, probed=False):
     """Disk location of one precompiled mutant.
 
     ``marshal`` output is only stable within one interpreter build, so the
     implementation cache tag is folded into the name — a different Python
-    simply misses and recompiles.
+    simply misses and recompiles.  Probed mutants (activation tracking)
+    differ from unprobed ones by one planted statement, so the probe flag
+    is part of the name too.
     """
+    variant = "probed" if probed else "plain"
     digest = hashlib.sha256(
-        f"{sys.implementation.cache_tag}:{fingerprint}:{fault_id}"
+        f"{sys.implementation.cache_tag}:{fingerprint}:{fault_id}:{variant}"
         .encode("utf-8")
     ).hexdigest()[:24]
     return Path(cache_dir) / f"mutant-{digest}.marshal"
@@ -246,39 +250,45 @@ def _store_mutant_code(path, code):
     os.replace(tmp, path)  # atomic: concurrent workers race benignly
 
 
-def build_mutant_cached(location, cache_dir=None):
+def build_mutant_cached(location, cache_dir=None, probed=False):
     """:func:`~repro.gswfit.mutator.build_mutant` behind the cache.
 
     Returns the same ``(original_function, mutant_code)`` pair.  The code
-    object is compiled at most once per ``(source fingerprint, fault_id)``
-    — per process via the in-memory memo, per machine via the optional
-    ``cache_dir`` marshal tier shared by campaign worker processes.
+    object is compiled at most once per ``(source fingerprint, fault_id,
+    probed)`` — per process via the in-memory memo, per machine via the
+    optional ``cache_dir`` marshal tier shared by campaign worker
+    processes.  Probed and unprobed variants are distinct cache entries:
+    they compile to different bytecode.
     """
+    probed = bool(probed)
     function = resolve_function(location)
-    key = (mutant_fingerprint(location, function), location.fault_id)
+    key = (mutant_fingerprint(location, function), location.fault_id, probed)
     code = _mutant_memory.get(key)
     if code is not None:
         MUTANT_CACHE_STATS.memory_hits += 1
         return function, code
     if cache_dir is not None:
         code = _load_mutant_code(
-            mutant_cache_path(cache_dir, key[0], location.fault_id)
+            mutant_cache_path(cache_dir, key[0], location.fault_id,
+                              probed=probed)
         )
         if code is not None:
             MUTANT_CACHE_STATS.disk_hits += 1
             _mutant_memory[key] = code
             return function, code
-    function, code = build_mutant(location)
+    function, code = build_mutant(location, probed=probed)
     MUTANT_CACHE_STATS.compiles += 1
     _mutant_memory[key] = code
     if cache_dir is not None:
         _store_mutant_code(
-            mutant_cache_path(cache_dir, key[0], location.fault_id), code
+            mutant_cache_path(cache_dir, key[0], location.fault_id,
+                              probed=probed),
+            code,
         )
     return function, code
 
 
-def warm_mutant_cache(faultload, cache_dir=None):
+def warm_mutant_cache(faultload, cache_dir=None, probed=False):
     """Batch-compile every location of ``faultload`` into the cache.
 
     A campaign calls this once after sampling, *before* spawning worker
@@ -286,13 +296,14 @@ def warm_mutant_cache(faultload, cache_dir=None):
     in-process memo outright, and with a ``cache_dir`` even spawn-based
     workers (or later runs) pick the mutants up from disk.  Locations that
     cannot be compiled are counted, not raised — the injection slot will
-    surface the error in context.
+    surface the error in context.  ``probed`` must match what the slots
+    will request (activation tracking on → probed mutants).
     """
     compiled = cached = failed = 0
     for location in faultload:
         before = MUTANT_CACHE_STATS.compiles
         try:
-            build_mutant_cached(location, cache_dir=cache_dir)
+            build_mutant_cached(location, cache_dir=cache_dir, probed=probed)
         except MutantError:
             failed += 1
             continue

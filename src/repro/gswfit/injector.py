@@ -26,6 +26,7 @@ swap — the mechanism behind the paper's intrusiveness measurements
 from contextlib import contextmanager
 
 from repro.gswfit import cache as _cache
+from repro.gswfit.activation import ACTIVATION_HOOK
 from repro.gswfit.mutator import resolve_module
 
 __all__ = ["FaultInjector", "FitBoundaryError", "check_fit_boundary"]
@@ -69,20 +70,32 @@ class FaultInjector:
     mutant_cache_dir:
         Optional directory for the on-disk mutant cache tier; the
         in-process memo is always used.
+    activation_tracker:
+        Optional :class:`~repro.gswfit.activation.ActivationTracker`.
+        When attached, mutants are compiled with the activation probe and
+        the tracker's ``record`` method is published under
+        ``__gswfit_activation__`` in the FIT module for exactly the
+        lifetime of each injection, so the probe resolves iff its fault
+        is applied.  Without a tracker the injected bytecode is identical
+        to the untracked harness.
     """
 
     def __init__(self, fit_prefixes=DEFAULT_FIT_PREFIXES,
                  os_instances=(), profile_mode=False,
-                 mutant_cache_dir=None):
+                 mutant_cache_dir=None, activation_tracker=None):
         self.fit_prefixes = tuple(fit_prefixes)
         self.os_instances = list(os_instances)
         self.profile_mode = profile_mode
         self.mutant_cache_dir = mutant_cache_dir
+        self.activation_tracker = activation_tracker
         self._originals = {}
         self._active = {}
         # (module, function) -> number of active faults in that function,
         # so restore() never has to rescan the active table.
         self._active_counts = {}
+        # module name -> number of active probed faults in that module;
+        # the activation hook lives in the module dict while > 0.
+        self._hooked_modules = {}
         self.injection_count = 0
 
     # ------------------------------------------------------------------
@@ -104,18 +117,40 @@ class FaultInjector:
         """Fault locations currently applied."""
         return list(self._active.values())
 
+    def _install_hook(self, module_name):
+        count = self._hooked_modules.get(module_name, 0)
+        if count == 0:
+            module = resolve_module(module_name)
+            setattr(module, ACTIVATION_HOOK, self.activation_tracker.record)
+        self._hooked_modules[module_name] = count + 1
+
+    def _remove_hook(self, module_name):
+        count = self._hooked_modules.get(module_name, 0)
+        if count <= 1:
+            self._hooked_modules.pop(module_name, None)
+            module = resolve_module(module_name)
+            if hasattr(module, ACTIVATION_HOOK):
+                delattr(module, ACTIVATION_HOOK)
+        else:
+            self._hooked_modules[module_name] = count - 1
+
     def inject(self, location):
         """Apply ``location``'s mutation to the running target."""
         self._check_boundary(location)
         if location.fault_id in self._active:
             raise ValueError(f"fault already active: {location.fault_id}")
+        probed = self.activation_tracker is not None
         function, mutant_code = _cache.build_mutant_cached(
-            location, cache_dir=self.mutant_cache_dir
+            location, cache_dir=self.mutant_cache_dir, probed=probed
         )
         self.injection_count += 1
         if self.profile_mode:
             return
         key = (location.module, location.function)
+        if probed:
+            # The hook must be resolvable before the probed code can run.
+            self._install_hook(location.module)
+            self.activation_tracker.begin(location.fault_id)
         if key not in self._originals:
             self._originals[key] = function.__code__
         function.__code__ = mutant_code
@@ -138,6 +173,10 @@ class FaultInjector:
             del self._active_counts[key]
             function = getattr(resolve_module(key[0]), key[1])
             function.__code__ = self._originals.pop(key)
+        if self.activation_tracker is not None:
+            # Only after the swap-back: the probe must never fire without
+            # its hook in place.
+            self._remove_hook(location.module)
         self._sync_fault_mode()
 
     def restore_all(self):
@@ -145,6 +184,11 @@ class FaultInjector:
         for key, original in list(self._originals.items()):
             function = getattr(resolve_module(key[0]), key[1])
             function.__code__ = original
+        for module_name in list(self._hooked_modules):
+            module = resolve_module(module_name)
+            if hasattr(module, ACTIVATION_HOOK):
+                delattr(module, ACTIVATION_HOOK)
+        self._hooked_modules.clear()
         self._originals.clear()
         self._active.clear()
         self._active_counts.clear()

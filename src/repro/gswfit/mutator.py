@@ -5,12 +5,19 @@ re-running the operator's search pattern and applying its mutation rule at
 the recorded site.  The resulting code object is validated to be
 shape-compatible with the original (same signature, no closure cells) so a
 ``__code__`` swap is always safe.
+
+``probed=True`` additionally plants a one-statement activation probe at
+the top of the mutated function (see :mod:`repro.gswfit.activation`):
+the probe records that the faulty code actually executed.  Unprobed
+mutants are byte-identical to what the harness always produced, so
+activation tracking is zero-cost when disabled.
 """
 
 import ast
 import importlib
 import sys
 
+from repro.gswfit.activation import ACTIVATION_HOOK
 from repro.gswfit.astutils import FunctionImage
 from repro.gswfit.operators import operator_for
 
@@ -84,9 +91,29 @@ def mutated_source(location):
     return ast.unparse(tree)
 
 
-def build_mutant(location):
+def _plant_probe(tree, fault_id):
+    """Insert the activation probe as the mutant's first statement.
+
+    The hook name resolves through the live FIT module's globals at call
+    time; the injector installs/removes the hook there so the probe is
+    only ever reachable while its fault is applied.
+    """
+    probe = ast.Expr(
+        value=ast.Call(
+            func=ast.Name(id=ACTIVATION_HOOK, ctx=ast.Load()),
+            args=[ast.Constant(value=fault_id)],
+            keywords=[],
+        )
+    )
+    tree.body[0].body.insert(0, probe)
+    ast.fix_missing_locations(tree)
+
+
+def build_mutant(location, probed=False):
     """Compile the mutant; returns ``(original_function, mutant_code)``."""
     image, tree = _mutated_tree(location)
+    if probed:
+        _plant_probe(tree, location.fault_id)
     function = image.function
     filename = f"<gswfit:{location.fault_id}>"
     code = compile(tree, filename, "exec")

@@ -53,7 +53,7 @@ from repro.gswfit.cache import (
     scan_build_cached,
     warm_mutant_cache,
 )
-from repro.harness.experiment import WebServerExperiment
+from repro.harness.experiment import WebServerExperiment, profile_servers
 from repro.harness.results import BenchmarkResult, InjectionIteration
 from repro.harness.supervisor import (
     DEFAULT_MAX_POOL_REBUILDS,
@@ -77,15 +77,16 @@ __all__ = [
     "ParallelCampaign",
     "ShardOutcome",
     "campaign_key",
+    "derive_activation_deadlines",
     "merge_outcomes",
     "plan_shards",
     "run_shard",
 ]
 
-# v3: shard outcomes carry integrity-protocol records (contaminated
-# slots, verified reboots); older journals rerun rather than merge
-# half-schema outcomes.
-JOURNAL_VERSION = 3
+# v4: shard outcomes carry activation telemetry (per-slot probe
+# records, activated/truncated totals); older journals rerun rather
+# than merge half-schema outcomes.
+JOURNAL_VERSION = 4
 
 
 # ----------------------------------------------------------------------
@@ -146,6 +147,13 @@ class ShardOutcome:
     contaminated_slots: list = field(default_factory=list)
     reboots: list = field(default_factory=list)
     integrity_enabled: bool = False
+    # Activation telemetry (journal v4): per-slot probe records in
+    # shard-local slot order, plus the shard's totals.
+    activations: list = field(default_factory=list)
+    faults_activated: int = 0
+    slots_truncated: int = 0
+    truncated_seconds: float = 0.0
+    activation_enabled: bool = False
 
     def to_dict(self):
         data = asdict(self)
@@ -160,7 +168,44 @@ class ShardOutcome:
         data.setdefault("contaminated_slots", [])
         data.setdefault("reboots", [])
         data.setdefault("integrity_enabled", False)
+        data.setdefault("activations", [])
+        data.setdefault("faults_activated", 0)
+        data.setdefault("slots_truncated", 0)
+        data.setdefault("truncated_seconds", 0.0)
+        data.setdefault("activation_enabled", False)
         return cls(**data)
+
+
+def derive_activation_deadlines(config):
+    """Profile the target and derive per-function activation deadlines.
+
+    Runs a short deterministic API-usage trace of the configured server
+    (the Section 3.3 profiling phase, reused) and converts each observed
+    function's call rate into a truncation deadline: a function called
+    every ``gap`` seconds that has not activated within ``4 * gap`` of
+    slot start almost certainly never will this slot.  The deadline is
+    clamped between the configured floor fraction and the slot length.
+
+    The table is a pure function of the config (trace seeded like every
+    other machine), so the campaign parent derives it once *before* the
+    campaign key is computed and every worker inherits the same table —
+    worker-count parity is preserved by construction.  Functions the
+    trace never observed fall back to the floor fraction at lookup time.
+    """
+    seconds = config.activation_profile_seconds
+    tracer = profile_servers(
+        config, [config.server_name], seconds=seconds
+    )[config.server_name]
+    slot = config.rules.slot_seconds
+    floor = slot * config.activation_floor_fraction
+    per_function = {}
+    for (_module_display, function), count in tracer.counts.items():
+        per_function[function] = per_function.get(function, 0) + count
+    deadlines = {}
+    for function in sorted(per_function):
+        gap = seconds / per_function[function]
+        deadlines[function] = round(min(slot, max(4.0 * gap, floor)), 6)
+    return deadlines
 
 
 def shard_seed(base_seed, shard_index):
@@ -206,6 +251,11 @@ def run_shard(config, iteration, shard, mutant_cache_dir=None):
         contaminated_slots=list(run.contaminated_slots),
         reboots=list(run.reboots),
         integrity_enabled=run.integrity_enabled,
+        activations=list(run.activations),
+        faults_activated=run.faults_activated,
+        slots_truncated=run.slots_truncated,
+        truncated_seconds=run.truncated_seconds,
+        activation_enabled=run.activation_enabled,
     )
 
 
@@ -245,6 +295,11 @@ def merge_outcomes(outcomes, iteration, num_connections):
         for outcome in ordered
         for record in getattr(outcome, "reboots", [])
     ]
+    activations = [
+        record
+        for outcome in ordered
+        for record in getattr(outcome, "activations", [])
+    ]
     return InjectionIteration(
         iteration=iteration,
         metrics=partial.to_metrics(num_connections),
@@ -260,6 +315,21 @@ def merge_outcomes(outcomes, iteration, num_connections):
         reboots=reboots,
         integrity_enabled=any(
             getattr(outcome, "integrity_enabled", False)
+            for outcome in ordered
+        ),
+        activations=activations,
+        faults_activated=sum(
+            getattr(outcome, "faults_activated", 0) for outcome in ordered
+        ),
+        slots_truncated=sum(
+            getattr(outcome, "slots_truncated", 0) for outcome in ordered
+        ),
+        truncated_seconds=round(sum(
+            getattr(outcome, "truncated_seconds", 0.0)
+            for outcome in ordered
+        ), 6),
+        activation_enabled=any(
+            getattr(outcome, "activation_enabled", False)
             for outcome in ordered
         ),
     )
@@ -546,13 +616,30 @@ class ParallelCampaign:
         started = time.perf_counter()
         faultload = self.prepared_faultload(faultload)
         timings["prepare"] = round(time.perf_counter() - started, 6)
+        if (self.config.adaptive_slots and self.config.track_activation
+                and self.config.activation_deadlines is None):
+            # Derive the deadline table before the campaign key is
+            # computed: the table becomes part of the config, hence of
+            # the key and of every shard's behaviour — identically for
+            # any worker count.  Mutated in place so the experiment
+            # (which shares this config object) stays in sync.
+            started = time.perf_counter()
+            self.config.activation_deadlines = (
+                derive_activation_deadlines(self.config)
+            )
+            timings["activation_profile"] = round(
+                time.perf_counter() - started, 6
+            )
         if self.warm_mutants:
             # Compile every sampled mutant exactly once, before any
             # worker process exists: fork-started workers inherit the
             # warm memo, and the disk tier covers spawn-started ones.
+            # Probed variants when activation tracking is on — the same
+            # entries the slot runs will request.
             started = time.perf_counter()
             self.warmup_stats = warm_mutant_cache(
-                faultload, cache_dir=self.cache_dir
+                faultload, cache_dir=self.cache_dir,
+                probed=self.config.track_activation,
             )
             timings["warm_mutants"] = round(
                 time.perf_counter() - started, 6
@@ -638,6 +725,7 @@ class ParallelCampaign:
         result.degraded = bool(result.quarantine)
         supervision["degraded"] = result.degraded
         integrity = self._integrity_summary(result)
+        activation = self._activation_summary(result)
         digest = metrics_digest(result)
         self.manifest = RunManifest(
             campaign_key=key,
@@ -656,12 +744,14 @@ class ParallelCampaign:
             phase_timings=timings,
             supervision=supervision,
             integrity=integrity,
+            activation=activation,
             metrics_digest=digest,
             created_at=round(time.time(), 6),
         )
         if self.manifest_path is not None:
             self.manifest.write(self.manifest_path)
         telemetry.emit("integrity_summary", **integrity)
+        telemetry.emit("activation_summary", **activation)
         telemetry.emit(
             "campaign_end",
             degraded=result.degraded,
@@ -669,6 +759,37 @@ class ParallelCampaign:
         )
         telemetry.close()
         return result
+
+    def _activation_summary(self, result):
+        """Campaign-wide activation accounting for the manifest."""
+        enabled = any(
+            iteration.activation_enabled for iteration in result.iterations
+        )
+        injected = sum(
+            iteration.faults_injected for iteration in result.iterations
+        )
+        activated = sum(
+            iteration.faults_activated for iteration in result.iterations
+        )
+        truncated = sum(
+            iteration.slots_truncated for iteration in result.iterations
+        )
+        saved = round(sum(
+            iteration.truncated_seconds for iteration in result.iterations
+        ), 6)
+        rate = None
+        if enabled and injected:
+            rate = round(activated / injected, 6)
+        return {
+            "enabled": enabled,
+            "adaptive": bool(self.config.adaptive_slots),
+            "faults_injected": injected,
+            "faults_activated": activated,
+            "activation_rate": rate,
+            "slots_truncated": truncated,
+            "sim_seconds_saved": saved,
+            "deadline_functions": len(self.config.activation_deadlines or {}),
+        }
 
     def _integrity_summary(self, result):
         """Campaign-wide contamination accounting for the manifest."""

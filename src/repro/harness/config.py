@@ -64,6 +64,36 @@ class ExperimentConfig:
     # the clean-machine CI gate relies on this.
     inject_faults: bool = True
 
+    # Fault-activation telemetry (DESIGN.md §11).  When on, mutants carry
+    # an entry probe and each slot records whether/when the faulty code
+    # executed; the ACT% report column and the activation-gate CI job
+    # come from this.
+    track_activation: bool = True
+
+    # Adaptive slot scheduling: truncate a slot once the faulted
+    # function's activation deadline passes with zero probe hits.  Off by
+    # default — changes observed windows, so it is an explicit opt-in
+    # (--adaptive-slots).
+    adaptive_slots: bool = False
+
+    # function name -> activation deadline in seconds from slot start,
+    # derived from a deterministic profiling trace by the campaign parent
+    # (before the campaign key is computed, so all workers share it).
+    # None = no table; adaptive slots fall back to the grace fraction.
+    activation_deadlines: dict | None = None
+
+    # Fallback deadline (fraction of slot_seconds) used when no deadline
+    # table is available at all (e.g. single runs outside a campaign).
+    activation_grace_fraction: float = 0.5
+
+    # Deadline floor (fraction of slot_seconds) given to functions the
+    # profiling trace never observed — mostly internal helpers that only
+    # run on rare paths.
+    activation_floor_fraction: float = 0.15
+
+    # Length of the profiling trace used to derive the deadline table.
+    activation_profile_seconds: float = 20.0
+
     # SPECWeb99 judges connection conformance over whole measurement
     # batches; we group this many consecutive slots per conformance batch.
     conformance_slots: int = 6

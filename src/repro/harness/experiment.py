@@ -19,6 +19,7 @@ tracer attached and collect per-function usage.
 
 from dataclasses import dataclass, field
 
+from repro.gswfit.activation import ActivationTracker
 from repro.gswfit.injector import FaultInjector
 from repro.gswfit.mutator import MutantError
 from repro.gswfit.scanner import scan_build
@@ -59,6 +60,14 @@ class SlotRunResult:
     reboots: list = field(default_factory=list)
     integrity_enabled: bool = False
     audits_performed: int = 0
+    # One record per injected slot when activation tracking is on:
+    # {"slot", "fault_id", "hits", "first_hit", "truncated"} —
+    # ``first_hit`` is sim-seconds from slot start (None if never hit).
+    activations: list = field(default_factory=list)
+    faults_activated: int = 0
+    slots_truncated: int = 0
+    truncated_seconds: float = 0.0
+    activation_enabled: bool = False
 
     def compute_partial(self, conformance_group):
         """Reduce every segment's windows to one mergeable partial."""
@@ -79,14 +88,15 @@ class SlotRunResult:
 class _Epoch:
     """One machine generation within a slot run (between reboots)."""
 
-    __slots__ = ("machine", "injector", "watchdog", "auditor", "windows",
-                 "finished")
+    __slots__ = ("machine", "injector", "watchdog", "auditor", "tracker",
+                 "windows", "finished")
 
-    def __init__(self, machine, injector, watchdog, auditor):
+    def __init__(self, machine, injector, watchdog, auditor, tracker=None):
         self.machine = machine
         self.injector = injector
         self.watchdog = watchdog
         self.auditor = auditor
+        self.tracker = tracker
         self.windows = []
         self.finished = False
 
@@ -180,8 +190,16 @@ class WebServerExperiment:
         faultload = self.prepared_faultload(faultload)
         machine = self._boot_machine(iteration)
         machine.set_injector_attached(True)
+        tracker = None
+        if self.config.track_activation:
+            # Attach a tracker even though no code is swapped: the
+            # injector then prepares *probed* mutants, so profile mode
+            # warms the same cache entries the live run will hit.
+            tracker = ActivationTracker(clock=machine._now)
+            machine.attach_activation(tracker)
         injector = FaultInjector(
-            os_instances=[machine.os_instance], profile_mode=True
+            os_instances=[machine.os_instance], profile_mode=True,
+            activation_tracker=tracker,
         )
         self._warm_up(machine)
         rules = self.config.rules
@@ -215,10 +233,15 @@ class WebServerExperiment:
         config = self.config
         machine = self._boot_machine(iteration)
         machine.set_injector_attached(True)
+        tracker = None
+        if config.track_activation:
+            tracker = ActivationTracker(clock=machine._now)
+            machine.attach_activation(tracker)
         injector = FaultInjector(
             os_instances=[machine.os_instance],
             mutant_cache_dir=mutant_cache_dir,
             profile_mode=not config.inject_faults,
+            activation_tracker=tracker,
         )
         watchdog = Watchdog(
             machine.sim,
@@ -234,7 +257,7 @@ class WebServerExperiment:
         if config.integrity_audit:
             auditor = IntegrityAuditor(machine.kernel)
             auditor.snapshot(machine.runtime.ctx)
-        return _Epoch(machine, injector, watchdog, auditor)
+        return _Epoch(machine, injector, watchdog, auditor, tracker=tracker)
 
     @staticmethod
     def _live_threads(machine):
@@ -274,6 +297,25 @@ class WebServerExperiment:
             result.audits_performed += epoch.auditor.audits_performed
         result.segments.append((epoch.machine, epoch.windows))
 
+    def _activation_deadline(self, location, slot_seconds):
+        """Seconds from slot start after which a hit-less slot truncates.
+
+        Uses the campaign-derived deadline table when present (observed
+        functions get their profiled window, unobserved ones the floor);
+        without a table, falls back to the grace fraction.  Clamped to
+        the slot, so a deadline at/over ``slot_seconds`` means "never
+        truncate".
+        """
+        config = self.config
+        deadlines = config.activation_deadlines
+        if deadlines:
+            deadline = deadlines.get(location.function)
+            if deadline is None:
+                deadline = slot_seconds * config.activation_floor_fraction
+        else:
+            deadline = slot_seconds * config.activation_grace_fraction
+        return max(0.0, min(float(deadline), slot_seconds))
+
     def run_slots(self, faultload, iteration=0, mutant_cache_dir=None,
                   first_slot=0):
         """Boot a machine and walk ``faultload`` slot by slot (Fig. 4).
@@ -297,7 +339,12 @@ class WebServerExperiment:
         """
         config = self.config
         rules = config.rules
-        result = SlotRunResult(integrity_enabled=config.integrity_audit)
+        track = config.track_activation and config.inject_faults
+        adaptive = config.adaptive_slots and track
+        result = SlotRunResult(
+            integrity_enabled=config.integrity_audit,
+            activation_enabled=track,
+        )
         epoch = self._bring_up(iteration, mutant_cache_dir)
         try:
             for index, location in enumerate(faultload):
@@ -310,11 +357,54 @@ class WebServerExperiment:
                 except MutantError:
                     # Unresolvable site (stale faultload): skip the slot.
                     continue
-                machine.sim.run_until(slot_start + rules.slot_seconds)
+                # Adaptive scheduling: split the slot at the activation
+                # deadline.  ``run_until`` partitions the timeline, so
+                # back-to-back calls are equivalent to one full-slot call
+                # — a non-truncated adaptive slot reproduces the fixed
+                # schedule exactly.
+                truncated = False
+                slot_len = rules.slot_seconds
+                if adaptive:
+                    deadline = self._activation_deadline(
+                        location, rules.slot_seconds
+                    )
+                    if deadline < rules.slot_seconds - 1e-9:
+                        machine.sim.run_until(slot_start + deadline)
+                        if epoch.tracker.hits(location.fault_id) == 0:
+                            truncated = True
+                            slot_len = deadline
+                        else:
+                            machine.sim.run_until(
+                                slot_start + rules.slot_seconds
+                            )
+                    else:
+                        machine.sim.run_until(slot_start + rules.slot_seconds)
+                else:
+                    machine.sim.run_until(slot_start + rules.slot_seconds)
                 epoch.injector.restore(location)
-                epoch.windows.append(
-                    (slot_start, slot_start + rules.slot_seconds)
-                )
+                epoch.windows.append((slot_start, slot_start + slot_len))
+                if track and epoch.tracker is not None:
+                    # Harvest after restore: the probe cannot fire once
+                    # the original code is swapped back.
+                    record = epoch.tracker.take(location.fault_id)
+                    hits = record.hits if record is not None else 0
+                    first_hit = None
+                    if record is not None and record.first_hit is not None:
+                        first_hit = round(record.first_hit - slot_start, 6)
+                    result.activations.append({
+                        "slot": slot,
+                        "fault_id": location.fault_id,
+                        "hits": hits,
+                        "first_hit": first_hit,
+                        "truncated": truncated,
+                    })
+                    if hits:
+                        result.faults_activated += 1
+                    if truncated:
+                        result.slots_truncated += 1
+                        result.truncated_seconds += round(
+                            rules.slot_seconds - slot_len, 6
+                        )
                 # Injection-free gap: workload paused, watchdog repairs.
                 machine.client.pause()
                 machine.run_for(rules.slot_gap_seconds)
@@ -379,6 +469,11 @@ class WebServerExperiment:
             contaminated_slots=list(run.contaminated_slots),
             reboots=list(run.reboots),
             integrity_enabled=run.integrity_enabled,
+            activations=list(run.activations),
+            faults_activated=run.faults_activated,
+            slots_truncated=run.slots_truncated,
+            truncated_seconds=run.truncated_seconds,
+            activation_enabled=run.activation_enabled,
         )
 
     # ------------------------------------------------------------------

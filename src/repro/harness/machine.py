@@ -87,6 +87,9 @@ class ServerMachine:
     def attach_tracer(self, tracer):
         self.os_instance.attach_tracer(tracer)
 
+    def attach_activation(self, tracker):
+        self.os_instance.attach_activation(tracker)
+
     def set_injector_attached(self, attached):
         """Model the injector competing for machine CPU (Table 4)."""
         if attached:

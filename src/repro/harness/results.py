@@ -33,6 +33,15 @@ class InjectionIteration:
     contaminated_slots: list = field(default_factory=list)
     reboots: list = field(default_factory=list)
     integrity_enabled: bool = False
+    # Activation telemetry (DESIGN.md §11): per-slot probe records
+    # ({"slot", "fault_id", "hits", "first_hit", "truncated"}, slot
+    # order), the activated/truncated totals, and whether tracking ran
+    # at all (False = ACT% is unknowable, not zero).
+    activations: list = field(default_factory=list)
+    faults_activated: int = 0
+    slots_truncated: int = 0
+    truncated_seconds: float = 0.0
+    activation_enabled: bool = False
 
     @property
     def admf(self):
@@ -45,8 +54,16 @@ class InjectionIteration:
             return None
         return len(self.contaminated_slots)
 
+    @property
+    def activation_rate(self):
+        """Fraction of injected faults whose code ran (None = untracked)."""
+        if not self.activation_enabled or not self.faults_injected:
+            return None
+        return self.faults_activated / self.faults_injected
+
     def as_row(self):
         """The paper's Table 5 row shape (plus the RES audit column)."""
+        rate = self.activation_rate
         return {
             "SPC": self.metrics.spc,
             "THR": self.metrics.thr,
@@ -56,6 +73,7 @@ class InjectionIteration:
             "KCP": self.kcp,
             "KNS": self.kns,
             "RES": self.residual_errors,
+            "ACT%": None if rate is None else rate * 100.0,
         }
 
 
@@ -91,23 +109,25 @@ class BenchmarkResult:
 def average_iterations(iterations):
     """Average the Table 5 row values over iterations (paper's last row).
 
-    ``RES`` is None for unaudited iterations; it averages over audited
-    iterations only and stays None when there are none.
+    ``RES`` and ``ACT%`` are None for unaudited/untracked iterations;
+    each averages over the iterations that report it and stays None when
+    there are none.
     """
     if not iterations:
         return {}
     keys = ["SPC", "THR", "RTM", "ER%", "MIS", "KCP", "KNS"]
     totals = {key: 0.0 for key in keys}
-    res_total = 0.0
-    res_count = 0
+    optional = {"RES": [0.0, 0], "ACT%": [0.0, 0]}
     for iteration in iterations:
         row = iteration.as_row()
         for key in keys:
             totals[key] += row[key]
-        if row.get("RES") is not None:
-            res_total += row["RES"]
-            res_count += 1
+        for key, bucket in optional.items():
+            if row.get(key) is not None:
+                bucket[0] += row[key]
+                bucket[1] += 1
     count = len(iterations)
     averaged = {key: value / count for key, value in totals.items()}
-    averaged["RES"] = res_total / res_count if res_count else None
+    for key, (total, seen) in optional.items():
+        averaged[key] = total / seen if seen else None
     return averaged

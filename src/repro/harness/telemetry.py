@@ -43,8 +43,8 @@ __all__ = [
     "read_telemetry",
 ]
 
-# v2: integrity summary (contaminated slots, verified reboots).
-MANIFEST_VERSION = 2
+# v3: activation summary (probe records, adaptive-slot truncation).
+MANIFEST_VERSION = 3
 TELEMETRY_VERSION = 1
 
 
@@ -167,6 +167,22 @@ def metrics_digest(result):
                 "integrity_enabled": getattr(
                     iteration, "integrity_enabled", False
                 ),
+                # Activation telemetry is deterministic by construction:
+                # hit counts are pure workload facts and first-hit
+                # timestamps are sim-time relative to slot start.
+                "activations": getattr(iteration, "activations", []),
+                "faults_activated": getattr(
+                    iteration, "faults_activated", 0
+                ),
+                "slots_truncated": getattr(
+                    iteration, "slots_truncated", 0
+                ),
+                "truncated_seconds": getattr(
+                    iteration, "truncated_seconds", 0.0
+                ),
+                "activation_enabled": getattr(
+                    iteration, "activation_enabled", False
+                ),
             }
             for iteration in result.iterations
         ],
@@ -212,6 +228,10 @@ class RunManifest:
       ran, the per-shard reboot budget, campaign totals for
       contaminated slots / verified reboots / contamination left in
       place after budget exhaustion, and a violation-kind histogram.
+    * ``activation`` — the activation summary: whether tracking ran,
+      whether adaptive slots were on, faults injected/activated, the
+      overall activation rate, slots truncated with the simulated
+      seconds saved, and the deadline-table size.
     * ``metrics_digest`` — :func:`metrics_digest` of the final result;
       the determinism gate's comparand.
     * ``created_at`` — unix time the manifest was written.
@@ -233,6 +253,7 @@ class RunManifest:
     phase_timings: dict = dataclasses.field(default_factory=dict)
     supervision: dict = dataclasses.field(default_factory=dict)
     integrity: dict = dataclasses.field(default_factory=dict)
+    activation: dict = dataclasses.field(default_factory=dict)
     metrics_digest: str = ""
     created_at: float = 0.0
     manifest_version: int = MANIFEST_VERSION

@@ -53,6 +53,11 @@ class OsInstance:
         self.build = build
         self.kernel = kernel
         self.tracer = None
+        # Activation tracker, when fault-activation telemetry is on; the
+        # injector reads this to decide probed vs plain mutants.  Probes
+        # live inside mutant code, not in the dispatch wrappers, so
+        # attaching never rebuilds tables.
+        self.activation = None
         # Set by the fault injector while at least one mutation is applied.
         self.fault_mode = False
         # Live API tables bound to this instance; weak so a dead process
@@ -72,6 +77,10 @@ class OsInstance:
         # raises "set changed size during iteration".
         for table in list(self._tables):
             table._rebind()
+
+    def attach_activation(self, tracker):
+        """Attach a fault-activation tracker (None detaches)."""
+        self.activation = tracker
 
     def new_process(self, cpu=None, name="process"):
         """Create a process with its API table already bound."""

@@ -63,6 +63,11 @@ def export_campaign(result, directory, config=None, manifest=None,
                 "contaminated_slots": iteration.contaminated_slots,
                 "reboots": iteration.reboots,
                 "integrity_enabled": iteration.integrity_enabled,
+                "activations": iteration.activations,
+                "faults_activated": iteration.faults_activated,
+                "slots_truncated": iteration.slots_truncated,
+                "truncated_seconds": iteration.truncated_seconds,
+                "activation_enabled": iteration.activation_enabled,
             }
             for iteration in result.iterations
         ],
@@ -89,15 +94,16 @@ def export_campaign(result, directory, config=None, manifest=None,
 
     table = TableBuilder(
         ["iteration", "SPC", "THR", "RTM", "ER%", "MIS", "KCP", "KNS",
-         "RES"]
+         "RES", "ACT%"]
     )
     for iteration in result.iterations:
         row = iteration.as_row()
+        act = row.get("ACT%")
         table.add_row(
             iteration.iteration, f"{row['SPC']:.2f}",
             f"{row['THR']:.2f}", f"{row['RTM']:.2f}",
             f"{row['ER%']:.2f}", row["MIS"], row["KCP"], row["KNS"],
-            row["RES"],
+            row["RES"], None if act is None else f"{act:.2f}",
         )
     csv_path = directory / "iterations.csv"
     csv_path.write_text(table.to_csv())

@@ -114,17 +114,22 @@ def table5_results(results_by_combo):
     """
     table = TableBuilder(
         ["OS", "Server", "Row", "SPC", "THR", "RTM", "ER%",
-         "MIS", "KCP", "KNS", "RES"],
+         "MIS", "KCP", "KNS", "RES", "ACT%"],
         title="Table 5 - Experimental results",
     )
+
+    def _percent(value):
+        return None if value is None else f"{value:.1f}"
+
     for (os_name, server), result in results_by_combo.items():
         reference = result.profile_mode or result.baseline
         if reference is not None:
-            # RES is "-" for the baseline row: no faults, no audits.
+            # RES and ACT% are "-" for the baseline row: no faults, so
+            # neither audits nor activations exist.
             table.add_row(os_name, server, "Baseline Perf.",
                           f"{reference.spc:.1f}", f"{reference.thr:.1f}",
                           f"{reference.rtm_ms:.1f}", "0", "0", "0", "0",
-                          None)
+                          None, None)
         for iteration in result.iterations:
             row = iteration.as_row()
             table.add_row(
@@ -132,7 +137,7 @@ def table5_results(results_by_combo):
                 f"{row['SPC']:.1f}", f"{row['THR']:.1f}",
                 f"{row['RTM']:.1f}", f"{row['ER%']:.1f}",
                 str(row["MIS"]), str(row["KCP"]), str(row["KNS"]),
-                row["RES"],
+                row["RES"], _percent(row.get("ACT%")),
             )
         average = result.average_row()
         if average:
@@ -142,6 +147,7 @@ def table5_results(results_by_combo):
                 f"{average['RTM']:.1f}", f"{average['ER%']:.1f}",
                 f"{average['MIS']:.1f}", f"{average['KCP']:.1f}",
                 f"{average['KNS']:.1f}", average.get("RES"),
+                _percent(average.get("ACT%")),
             )
     return table
 

@@ -54,9 +54,9 @@ def test_three_slot_campaign_compiles_once(faultload, monkeypatch):
     calls = []
     real = cache_module.build_mutant
 
-    def counting(location):
+    def counting(location, probed=False):
         calls.append(location.fault_id)
-        return real(location)
+        return real(location, probed=probed)
 
     monkeypatch.setattr(cache_module, "build_mutant", counting)
     location = faultload.locations[0]

@@ -124,7 +124,7 @@ def test_campaign_produces_complete_result(config):
     assert len(result.iterations) == 2
     average = result.average_row()
     assert set(average) == {"SPC", "THR", "RTM", "ER%", "MIS", "KCP",
-                            "KNS", "RES"}
+                            "KNS", "RES", "ACT%"}
     metrics = DependabilityMetrics.from_results(result)
     assert metrics.spc_baseline == result.profile_mode.spc
     assert metrics.admf == pytest.approx(
