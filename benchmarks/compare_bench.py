@@ -39,6 +39,7 @@ BENCH_KINDS = {
     "hot_path": [
         ("repeat_injection", "speedup", "warm-inject speedup"),
         ("single_pass_scan", "speedup", "single-pass-scan speedup"),
+        ("epoch_setup", "speedup", "epoch restore speedup"),
     ],
     "activation": [
         ("activation", "rate", "fine-tuned activation rate"),

@@ -1,6 +1,6 @@
 """Bench: the campaign hot paths.
 
-Three claims, one per layer of the precompiled-mutant pipeline:
+Four claims, one per layer of the campaign's steady state:
 
 * **Repeat injection** — injecting a fault location whose mutant is
   already in the precompilation cache is >= 5x faster than a cold
@@ -15,6 +15,10 @@ Three claims, one per layer of the precompiled-mutant pipeline:
   carries *no* tracer reference at all (asserted structurally), so the
   untraced steady state of a campaign pays nothing for the profiling
   instrumentation.
+* **Epoch setup** — restoring a warmed-up machine from its snapshot
+  (DESIGN.md §12) is >= 5x faster than booting and warming a fresh one,
+  which is what makes pristine-per-slot runs (the paper's Fig. 4
+  protocol) affordable.
 
 Results are written to ``BENCH_hot_path.json`` at the repo root.  Set
 ``REPRO_BENCH_SMOKE=1`` (the CI bench-smoke job does) to shrink the
@@ -28,8 +32,12 @@ import sys
 import time
 from itertools import repeat
 from pathlib import Path
+from statistics import median
 
 from repro.gswfit.astutils import FunctionImage
+from repro.harness.config import ExperimentConfig
+from repro.harness.machine import ServerMachine
+from repro.harness.snapshot import MachineSnapshot, snapshot_key
 from repro.gswfit.cache import clear_mutant_cache
 from repro.gswfit.injector import FaultInjector
 from repro.gswfit.operators import collect_sites, operator_library
@@ -42,10 +50,13 @@ from repro.profiling.tracer import ApiCallTracer
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 INJECT_SPEEDUP_FLOOR = 2.0 if SMOKE else 5.0
 SCAN_SPEEDUP_FLOOR = 1.2 if SMOKE else 3.0
+EPOCH_SPEEDUP_FLOOR = 2.0 if SMOKE else 5.0
 INJECT_SLOTS = 12 if SMOKE else 48
 WARM_ROUNDS = 2 if SMOKE else 5
 SCAN_ROUNDS = 1 if SMOKE else 3
 DISPATCH_CALLS = 20_000 if SMOKE else 200_000
+EPOCH_BOOT_ROUNDS = 2 if SMOKE else 3
+EPOCH_RESTORE_ROUNDS = 3 if SMOKE else 7
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_hot_path.json"
 RESULTS = {}
@@ -202,6 +213,58 @@ def test_dispatch_untraced_fast_path(benchmark):
     print(f"dispatch: untraced={untraced / DISPATCH_CALLS * 1e6:.3f}us  "
           f"traced={traced / DISPATCH_CALLS * 1e6:.3f}us per call")
     assert untraced / DISPATCH_CALLS < 50e-6, "dispatch slower than 50us"
+
+
+# ----------------------------------------------------------------------
+# Epoch setup: snapshot restore vs boot + warm-up
+# ----------------------------------------------------------------------
+def test_epoch_setup_speedup(benchmark):
+    """A restored epoch costs a pickle round-trip, not a boot."""
+    config = (ExperimentConfig.smoke() if SMOKE
+              else ExperimentConfig.scaled())
+
+    def boot_and_warm():
+        machine = ServerMachine(config, iteration=1)
+        assert machine.boot()
+        machine.client.start()
+        machine.run_for(
+            config.rules.warmup_seconds + config.rules.rampup_seconds
+        )
+        return machine
+
+    def regenerate():
+        boots = []
+        for _ in range(EPOCH_BOOT_ROUNDS):
+            started = time.perf_counter()
+            machine = boot_and_warm()
+            boots.append(time.perf_counter() - started)
+        snapshot = MachineSnapshot.capture(
+            snapshot_key(config, 1), machine
+        )
+        restores = []
+        for _ in range(EPOCH_RESTORE_ROUNDS):
+            started = time.perf_counter()
+            snapshot.restore()
+            restores.append(time.perf_counter() - started)
+        return median(boots), median(restores), snapshot.image_bytes
+
+    boot, restore, image_bytes = benchmark.pedantic(
+        regenerate, rounds=1, iterations=1
+    )
+    speedup = boot / max(restore, 1e-9)
+    RESULTS["epoch_setup"] = {
+        "boot_ms": round(boot * 1e3, 3),
+        "restore_ms": round(restore * 1e3, 3),
+        "image_kb": round(image_bytes / 1024, 1),
+        "speedup": round(speedup, 1),
+    }
+    print()
+    print(f"epoch: boot+warm={boot * 1e3:.1f}ms  "
+          f"restore={restore * 1e3:.2f}ms  "
+          f"image={image_bytes / 1024:.0f}KB  speedup={speedup:.1f}x")
+    assert speedup >= EPOCH_SPEEDUP_FLOOR, (
+        f"snapshot restore only {speedup:.1f}x faster than boot+warm-up"
+    )
 
 
 # ----------------------------------------------------------------------

@@ -50,6 +50,36 @@ def _add_common(parser):
     )
 
 
+def _add_snapshot(parser):
+    parser.add_argument(
+        "--no-snapshot-epochs", action="store_true",
+        help="boot + warm up every machine epoch from scratch instead "
+             "of restoring the copy-on-write epoch snapshot "
+             "(digest-identical either way; this is the slow path the "
+             "determinism gate compares against)",
+    )
+    parser.add_argument(
+        "--pristine-slots", action="store_true",
+        help="restart the machine after every injection slot (the "
+             "paper's Fig. 4 isolation protocol); near-free with epoch "
+             "snapshots on, changes the measured timeline so digests "
+             "differ from the default back-to-back schedule",
+    )
+    parser.add_argument(
+        "--snapshot-cache", type=int, metavar="N",
+        help="per-process LRU capacity of the epoch snapshot cache "
+             "(default 8 entries)",
+    )
+
+
+def _apply_snapshot(args, config):
+    config.snapshot_epochs = not args.no_snapshot_epochs
+    config.pristine_slots = args.pristine_slots
+    if args.snapshot_cache is not None:
+        from repro.harness.snapshot import snapshot_cache
+        snapshot_cache().resize(args.snapshot_cache)
+
+
 def _add_activation(parser):
     parser.add_argument(
         "--adaptive-slots", action="store_true",
@@ -142,6 +172,7 @@ def _cmd_run(args):
     config.server_name = args.server
     config.track_activation = not args.no_track_activation
     config.adaptive_slots = args.adaptive_slots
+    _apply_snapshot(args, config)
     experiment = WebServerExperiment(config)
     result = experiment.run_campaign()
     _print_campaign_result(args, config, result)
@@ -164,6 +195,7 @@ def _cmd_campaign(args):
     config.inject_faults = not args.no_inject
     config.track_activation = not args.no_track_activation
     config.adaptive_slots = args.adaptive_slots
+    _apply_snapshot(args, config)
     campaign = ParallelCampaign(
         config,
         workers=args.workers,
@@ -229,6 +261,16 @@ def _cmd_campaign(args):
                   f"sim-seconds saved "
                   f"({activation['deadline_functions']} profiled "
                   f"deadline(s))")
+    snapshot = manifest.snapshot if manifest else {}
+    if snapshot.get("enabled"):
+        total = (snapshot.get("epochs_booted", 0)
+                 + snapshot.get("epochs_restored", 0))
+        line = (f"snapshots: {snapshot.get('epochs_restored', 0)} of "
+                f"{total} epoch(s) restored")
+        if snapshot.get("pristine_slots"):
+            line += (f" ({snapshot.get('pristine_restarts', 0)} "
+                     f"pristine restart(s))")
+        print(line)
     if result.degraded:
         print(f"WARNING: campaign degraded — "
               f"{len(result.quarantine)} shard(s) quarantined:",
@@ -358,6 +400,7 @@ def build_parser():
                      help="faultload subsample size (None-like: 0 = full)")
     run.add_argument("--connections", type=int, default=16)
     _add_activation(run)
+    _add_snapshot(run)
     run.add_argument("--export", help="write results to this directory")
     run.set_defaults(func=_cmd_run)
 
@@ -444,6 +487,7 @@ def build_parser():
              "auditor false positive — the clean-machine CI gate)",
     )
     _add_activation(campaign)
+    _add_snapshot(campaign)
     campaign.add_argument("--export",
                           help="write results to this directory")
     campaign.set_defaults(func=_cmd_campaign)

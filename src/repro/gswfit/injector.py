@@ -90,9 +90,12 @@ class FaultInjector:
         self.activation_tracker = activation_tracker
         self._originals = {}
         self._active = {}
-        # (module, function) -> number of active faults in that function,
-        # so restore() never has to rescan the active table.
-        self._active_counts = {}
+        # (module, function) -> the fault_id currently holding that
+        # function.  At most one fault per function at a time: mutants
+        # are always built from pristine source, so a second swap would
+        # trample the first mutant and a later restore would resurrect
+        # the *other* fault's code while the bookkeeping says pristine.
+        self._function_faults = {}
         # module name -> number of active probed faults in that module;
         # the activation hook lives in the module dict while > 0.
         self._hooked_modules = {}
@@ -135,10 +138,27 @@ class FaultInjector:
             self._hooked_modules[module_name] = count - 1
 
     def inject(self, location):
-        """Apply ``location``'s mutation to the running target."""
+        """Apply ``location``'s mutation to the running target.
+
+        One fault per function at a time: injecting into a function
+        that already carries an active fault raises :class:`ValueError`
+        (before any counter moves), because the new mutant — built from
+        pristine source — would silently erase the active one and leave
+        restore bookkeeping pointing at dead state.
+        """
         self._check_boundary(location)
         if location.fault_id in self._active:
             raise ValueError(f"fault already active: {location.fault_id}")
+        key = (location.module, location.function)
+        if not self.profile_mode:
+            holder = self._function_faults.get(key)
+            if holder is not None:
+                raise ValueError(
+                    f"cannot inject {location.fault_id}: function "
+                    f"{location.function!r} in {location.module!r} "
+                    f"already carries active fault {holder!r} — one "
+                    f"fault per function at a time"
+                )
         probed = self.activation_tracker is not None
         function, mutant_code = _cache.build_mutant_cached(
             location, cache_dir=self.mutant_cache_dir, probed=probed
@@ -146,16 +166,14 @@ class FaultInjector:
         self.injection_count += 1
         if self.profile_mode:
             return
-        key = (location.module, location.function)
         if probed:
             # The hook must be resolvable before the probed code can run.
             self._install_hook(location.module)
             self.activation_tracker.begin(location.fault_id)
-        if key not in self._originals:
-            self._originals[key] = function.__code__
+        self._originals[key] = function.__code__
         function.__code__ = mutant_code
         self._active[location.fault_id] = location
-        self._active_counts[key] = self._active_counts.get(key, 0) + 1
+        self._function_faults[key] = location.fault_id
         self._sync_fault_mode()
 
     def restore(self, location):
@@ -166,13 +184,9 @@ class FaultInjector:
             return
         del self._active[location.fault_id]
         key = (location.module, location.function)
-        remaining = self._active_counts[key] - 1
-        if remaining:
-            self._active_counts[key] = remaining
-        else:
-            del self._active_counts[key]
-            function = getattr(resolve_module(key[0]), key[1])
-            function.__code__ = self._originals.pop(key)
+        del self._function_faults[key]
+        function = getattr(resolve_module(key[0]), key[1])
+        function.__code__ = self._originals.pop(key)
         if self.activation_tracker is not None:
             # Only after the swap-back: the probe must never fire without
             # its hook in place.
@@ -191,7 +205,7 @@ class FaultInjector:
         self._hooked_modules.clear()
         self._originals.clear()
         self._active.clear()
-        self._active_counts.clear()
+        self._function_faults.clear()
         self._sync_fault_mode()
 
     @contextmanager

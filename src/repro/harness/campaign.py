@@ -83,10 +83,10 @@ __all__ = [
     "run_shard",
 ]
 
-# v4: shard outcomes carry activation telemetry (per-slot probe
-# records, activated/truncated totals); older journals rerun rather
-# than merge half-schema outcomes.
-JOURNAL_VERSION = 4
+# v5: shard outcomes carry epoch-setup accounting (booted vs restored
+# epochs, pristine restarts); older journals rerun rather than merge
+# half-schema outcomes.
+JOURNAL_VERSION = 5
 
 
 # ----------------------------------------------------------------------
@@ -154,6 +154,12 @@ class ShardOutcome:
     slots_truncated: int = 0
     truncated_seconds: float = 0.0
     activation_enabled: bool = False
+    # Epoch-setup accounting (journal v5): how the shard's machine
+    # epochs came up.  Diagnostic — never part of the metrics digest.
+    epochs_booted: int = 0
+    epochs_restored: int = 0
+    pristine_restarts: int = 0
+    snapshot_enabled: bool = False
 
     def to_dict(self):
         data = asdict(self)
@@ -173,6 +179,10 @@ class ShardOutcome:
         data.setdefault("slots_truncated", 0)
         data.setdefault("truncated_seconds", 0.0)
         data.setdefault("activation_enabled", False)
+        data.setdefault("epochs_booted", 0)
+        data.setdefault("epochs_restored", 0)
+        data.setdefault("pristine_restarts", 0)
+        data.setdefault("snapshot_enabled", False)
         return cls(**data)
 
 
@@ -256,6 +266,10 @@ def run_shard(config, iteration, shard, mutant_cache_dir=None):
         slots_truncated=run.slots_truncated,
         truncated_seconds=run.truncated_seconds,
         activation_enabled=run.activation_enabled,
+        epochs_booted=run.epochs_booted,
+        epochs_restored=run.epochs_restored,
+        pristine_restarts=run.pristine_restarts,
+        snapshot_enabled=run.snapshot_enabled,
     )
 
 
@@ -280,26 +294,27 @@ def merge_outcomes(outcomes, iteration, num_connections):
     # worker or a journal replay (JSON round-trips sort keys), or the
     # exported campaign.json would differ byte-wise between the two.
     runtime_stats = dict(sorted(runtime_stats.items()))
+
+    def _records(attribute):
+        # Same byte-level concern as runtime_stats above: records from
+        # a live shard carry insertion key order, records replayed from
+        # the journal come back with sort_keys order — normalize so a
+        # resumed run's campaign.json is byte-identical to a live one's.
+        return [
+            dict(sorted(record.items())) if isinstance(record, dict)
+            else record
+            for outcome in ordered
+            for record in getattr(outcome, attribute, ()) or ()
+        ]
+
     incidents = [
         incident
         for outcome in ordered
         for incident in outcome.incidents
     ]
-    contaminated = [
-        record
-        for outcome in ordered
-        for record in getattr(outcome, "contaminated_slots", [])
-    ]
-    reboots = [
-        record
-        for outcome in ordered
-        for record in getattr(outcome, "reboots", [])
-    ]
-    activations = [
-        record
-        for outcome in ordered
-        for record in getattr(outcome, "activations", [])
-    ]
+    contaminated = _records("contaminated_slots")
+    reboots = _records("reboots")
+    activations = _records("activations")
     return InjectionIteration(
         iteration=iteration,
         metrics=partial.to_metrics(num_connections),
@@ -330,6 +345,19 @@ def merge_outcomes(outcomes, iteration, num_connections):
         ), 6),
         activation_enabled=any(
             getattr(outcome, "activation_enabled", False)
+            for outcome in ordered
+        ),
+        epochs_booted=sum(
+            getattr(outcome, "epochs_booted", 0) for outcome in ordered
+        ),
+        epochs_restored=sum(
+            getattr(outcome, "epochs_restored", 0) for outcome in ordered
+        ),
+        pristine_restarts=sum(
+            getattr(outcome, "pristine_restarts", 0) for outcome in ordered
+        ),
+        snapshot_enabled=any(
+            getattr(outcome, "snapshot_enabled", False)
             for outcome in ordered
         ),
     )
@@ -726,6 +754,7 @@ class ParallelCampaign:
         supervision["degraded"] = result.degraded
         integrity = self._integrity_summary(result)
         activation = self._activation_summary(result)
+        snapshot = self._snapshot_summary(result)
         digest = metrics_digest(result)
         self.manifest = RunManifest(
             campaign_key=key,
@@ -745,6 +774,7 @@ class ParallelCampaign:
             supervision=supervision,
             integrity=integrity,
             activation=activation,
+            snapshot=snapshot,
             metrics_digest=digest,
             created_at=round(time.time(), 6),
         )
@@ -752,6 +782,7 @@ class ParallelCampaign:
             self.manifest.write(self.manifest_path)
         telemetry.emit("integrity_summary", **integrity)
         telemetry.emit("activation_summary", **activation)
+        telemetry.emit("snapshot_summary", **snapshot)
         telemetry.emit(
             "campaign_end",
             degraded=result.degraded,
@@ -789,6 +820,27 @@ class ParallelCampaign:
             "slots_truncated": truncated,
             "sim_seconds_saved": saved,
             "deadline_functions": len(self.config.activation_deadlines or {}),
+        }
+
+    def _snapshot_summary(self, result):
+        """Campaign-wide epoch-setup accounting for the manifest."""
+        booted = sum(
+            iteration.epochs_booted for iteration in result.iterations
+        )
+        restored = sum(
+            iteration.epochs_restored for iteration in result.iterations
+        )
+        restarts = sum(
+            iteration.pristine_restarts for iteration in result.iterations
+        )
+        total = booted + restored
+        return {
+            "enabled": bool(self.config.snapshot_epochs),
+            "pristine_slots": bool(self.config.pristine_slots),
+            "epochs_booted": booted,
+            "epochs_restored": restored,
+            "pristine_restarts": restarts,
+            "restore_rate": round(restored / total, 6) if total else None,
         }
 
     def _integrity_summary(self, result):

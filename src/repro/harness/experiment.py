@@ -25,6 +25,11 @@ from repro.gswfit.mutator import MutantError
 from repro.gswfit.scanner import scan_build
 from repro.harness.machine import ServerMachine
 from repro.harness.results import BenchmarkResult, InjectionIteration
+from repro.harness.snapshot import (
+    MachineSnapshot,
+    snapshot_cache,
+    snapshot_key,
+)
 from repro.harness.watchdog import Watchdog
 from repro.ossim.builds import get_build
 from repro.ossim.integrity import IntegrityAuditor
@@ -68,6 +73,14 @@ class SlotRunResult:
     slots_truncated: int = 0
     truncated_seconds: float = 0.0
     activation_enabled: bool = False
+    # Epoch-setup accounting (DESIGN.md §12): how each machine epoch
+    # came up.  Diagnostic only — restored and booted epochs are
+    # digest-identical by construction, so none of these may ever enter
+    # the metrics digest.
+    epochs_booted: int = 0
+    epochs_restored: int = 0
+    pristine_restarts: int = 0
+    snapshot_enabled: bool = False
 
     def compute_partial(self, conformance_group):
         """Reduce every segment's windows to one mergeable partial."""
@@ -89,9 +102,10 @@ class _Epoch:
     """One machine generation within a slot run (between reboots)."""
 
     __slots__ = ("machine", "injector", "watchdog", "auditor", "tracker",
-                 "windows", "finished")
+                 "windows", "finished", "restored")
 
-    def __init__(self, machine, injector, watchdog, auditor, tracker=None):
+    def __init__(self, machine, injector, watchdog, auditor, tracker=None,
+                 restored=False):
         self.machine = machine
         self.injector = injector
         self.watchdog = watchdog
@@ -99,6 +113,7 @@ class _Epoch:
         self.tracker = tracker
         self.windows = []
         self.finished = False
+        self.restored = restored
 
 
 class WebServerExperiment:
@@ -209,10 +224,14 @@ class WebServerExperiment:
         )
         # The injector does all its per-slot work (mutant preparation,
         # monitoring) against consecutive faultload entries, exactly as in
-        # a live run — minus the final code swap.
+        # a live run — minus the final code swap.  Once the faultload has
+        # been covered once, remaining windows run without preparation: a
+        # live run never injects a slot twice either, and wrapping around
+        # would inflate injection_count with duplicate preparations and
+        # skew the Table 4 intrusiveness measurement.
         for index, (_w_start, w_end) in enumerate(windows):
-            if len(faultload) > 0:
-                location = faultload[index % len(faultload)]
+            if index < len(faultload):
+                location = faultload[index]
                 try:
                     injector.inject(location)
                 except MutantError:
@@ -224,11 +243,49 @@ class WebServerExperiment:
             windows, conformance_group=self.config.conformance_slots
         )
 
+    def _make_injector(self, machine, tracker, mutant_cache_dir):
+        return FaultInjector(
+            os_instances=[machine.os_instance],
+            mutant_cache_dir=mutant_cache_dir,
+            profile_mode=not self.config.inject_faults,
+            activation_tracker=tracker,
+        )
+
+    def _make_watchdog(self, machine):
+        config = self.config
+        return Watchdog(
+            machine.sim,
+            machine.runtime,
+            poll_seconds=config.watchdog_poll_seconds,
+            unresponsive_after=config.unresponsive_after_seconds,
+            restart_grace=config.restart_grace_seconds,
+            max_restart_attempts=config.watchdog_max_restart_attempts,
+        )
+
     def _bring_up(self, iteration, mutant_cache_dir):
-        """Boot + inject + watch + warm: one machine epoch, ready to run.
+        """Boot or restore one machine epoch, ready to run.
 
         Deterministic for a given ``iteration``: the replacement machine
         built by a verified reboot is seeded exactly like the original.
+        With ``config.snapshot_epochs`` the post-warm-up state is
+        captured once per ``(config, iteration)`` and every later epoch
+        is a restore of that image — digest-identical to a fresh boot
+        because boot + warm-up is itself deterministic (DESIGN.md §12).
+        """
+        if self.config.snapshot_epochs:
+            epoch = self._restore_epoch(iteration, mutant_cache_dir)
+            if epoch is not None:
+                return epoch
+        return self._boot_epoch(iteration, mutant_cache_dir)
+
+    def _boot_epoch(self, iteration, mutant_cache_dir):
+        """Full boot + warm-up; captures a snapshot when enabled.
+
+        Epoch assembly order is load-bearing: the watchdog starts (its
+        first poll event enters the queue) only *after* the auditor
+        reference and the snapshot are taken, so a restored image plus
+        a freshly started watchdog reproduces the booted event queue
+        exactly — same poll time, same event sequence numbers.
         """
         config = self.config
         machine = self._boot_machine(iteration)
@@ -237,27 +294,68 @@ class WebServerExperiment:
         if config.track_activation:
             tracker = ActivationTracker(clock=machine._now)
             machine.attach_activation(tracker)
-        injector = FaultInjector(
-            os_instances=[machine.os_instance],
-            mutant_cache_dir=mutant_cache_dir,
-            profile_mode=not config.inject_faults,
-            activation_tracker=tracker,
-        )
-        watchdog = Watchdog(
-            machine.sim,
-            machine.runtime,
-            poll_seconds=config.watchdog_poll_seconds,
-            unresponsive_after=config.unresponsive_after_seconds,
-            restart_grace=config.restart_grace_seconds,
-            max_restart_attempts=config.watchdog_max_restart_attempts,
-        )
         self._warm_up(machine)
-        watchdog.start()
         auditor = None
         if config.integrity_audit:
             auditor = IntegrityAuditor(machine.kernel)
             auditor.snapshot(machine.runtime.ctx)
+        if config.snapshot_epochs:
+            snapshot = MachineSnapshot.capture(
+                snapshot_key(config, iteration), machine, auditor
+            )
+            if auditor is not None:
+                # Capture-time audit, taken mid-workload: requests are
+                # in flight, so it may legitimately report violations
+                # (e.g. transient allocations above the startup
+                # footprint).  It is the restore-verify comparand, not
+                # a contamination record.  Audited after the image,
+                # and marked internal so it never shows up in the
+                # experiment's ``audits_performed`` count.
+                snapshot.reference = auditor.audit(
+                    machine.runtime.ctx, self._live_threads(machine),
+                    internal=True,
+                ).to_dict()
+            snapshot_cache().put(snapshot)
+        injector = self._make_injector(machine, tracker, mutant_cache_dir)
+        watchdog = self._make_watchdog(machine)
+        watchdog.start()
         return _Epoch(machine, injector, watchdog, auditor, tracker=tracker)
+
+    def _restore_epoch(self, iteration, mutant_cache_dir):
+        """Restore a captured epoch; None = no usable snapshot.
+
+        Restore-verify protocol: the restored machine is re-audited and
+        must reproduce the capture-time report byte-for-byte (identical
+        sim time, identical violation list).  Any drift discards the
+        snapshot and the caller falls back to a full boot.
+        """
+        config = self.config
+        key = snapshot_key(config, iteration)
+        snapshot = snapshot_cache().get(key)
+        if snapshot is None:
+            return None
+        machine, auditor = snapshot.restore()
+        if auditor is not None:
+            verify = auditor.audit(
+                machine.runtime.ctx, self._live_threads(machine),
+                internal=True,
+            )
+            if verify.to_dict() != snapshot.reference:
+                snapshot_cache().discard(key)
+                return None
+        tracker = machine.os_instance.activation
+        injector = self._make_injector(machine, tracker, mutant_cache_dir)
+        watchdog = self._make_watchdog(machine)
+        watchdog.start()
+        return _Epoch(machine, injector, watchdog, auditor,
+                      tracker=tracker, restored=True)
+
+    def _note_epoch(self, result, epoch):
+        if epoch.restored:
+            result.epochs_restored += 1
+        else:
+            result.epochs_booted += 1
+        return epoch
 
     @staticmethod
     def _live_threads(machine):
@@ -336,16 +434,28 @@ class WebServerExperiment:
         replacement brought up (same seeds, re-warmed, re-audited
         clean) before the next slot.  ``first_slot`` offsets slot
         numbering so shard-local records carry campaign-global indices.
+
+        Pristine-slot mode (``config.pristine_slots``, DESIGN.md §12):
+        the machine is additionally retired and replaced after *every*
+        slot — the paper's Fig. 4 restart-per-experiment protocol,
+        affordable because replacements restore from the epoch snapshot.
+        The budgeted contamination reboot is subsumed (every slot gets a
+        fresh machine anyway), so contaminated slots are recorded but
+        never charged against the reboot budget.
         """
         config = self.config
         rules = config.rules
         track = config.track_activation and config.inject_faults
         adaptive = config.adaptive_slots and track
+        pristine = config.pristine_slots
         result = SlotRunResult(
             integrity_enabled=config.integrity_audit,
             activation_enabled=track,
+            snapshot_enabled=config.snapshot_epochs,
         )
-        epoch = self._bring_up(iteration, mutant_cache_dir)
+        epoch = self._note_epoch(
+            result, self._bring_up(iteration, mutant_cache_dir)
+        )
         try:
             for index, location in enumerate(faultload):
                 machine = epoch.machine
@@ -422,14 +532,17 @@ class WebServerExperiment:
                             "violations": len(report.violations),
                         }
                         result.contaminated_slots.append(record)
-                        if len(result.reboots) < config.reboot_budget:
+                        if (not pristine
+                                and len(result.reboots)
+                                < config.reboot_budget):
                             # Verified reboot: retire the contaminated
                             # machine, bring up a deterministic
                             # replacement, prove it clean, carry on at
                             # the next slot.
                             self._quiesce_epoch(result, epoch, rules)
-                            epoch = self._bring_up(
-                                iteration, mutant_cache_dir
+                            epoch = self._note_epoch(
+                                result,
+                                self._bring_up(iteration, mutant_cache_dir),
                             )
                             verify = epoch.auditor.audit(
                                 epoch.machine.runtime.ctx,
@@ -443,6 +556,16 @@ class WebServerExperiment:
                             continue
                         # Budget exhausted: degrade gracefully — keep
                         # running, keep flagging contaminated slots.
+                if pristine and index < len(faultload) - 1:
+                    # Fig. 4 isolation: every slot starts on a fresh
+                    # machine.  The final slot skips the swap — the
+                    # finally block quiesces the last epoch anyway.
+                    self._quiesce_epoch(result, epoch, rules)
+                    epoch = self._note_epoch(
+                        result, self._bring_up(iteration, mutant_cache_dir)
+                    )
+                    result.pristine_restarts += 1
+                    continue
                 machine.client.resume()
         finally:
             # Even if a slot raises, leave the machine quiesced: faults
@@ -474,6 +597,10 @@ class WebServerExperiment:
             slots_truncated=run.slots_truncated,
             truncated_seconds=run.truncated_seconds,
             activation_enabled=run.activation_enabled,
+            epochs_booted=run.epochs_booted,
+            epochs_restored=run.epochs_restored,
+            pristine_restarts=run.pristine_restarts,
+            snapshot_enabled=run.snapshot_enabled,
         )
 
     # ------------------------------------------------------------------

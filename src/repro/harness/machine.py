@@ -59,7 +59,15 @@ class ServerMachine:
     # Environment
     # ------------------------------------------------------------------
     def setup_environment(self):
-        """Materialize the fileset, configs and log directories."""
+        """Materialize the fileset, configs and log directories.
+
+        Only the deployed server's files are created: dead config files
+        for the other three servers would bloat every machine snapshot
+        and integrity baseline with state nothing ever reads.  The mime
+        map is materialized only for servers that load one — it must
+        exist with its real size, or the server's open-always fallback
+        would silently create an empty one and change behaviour.
+        """
         if self._environment_ready:
             return
         vfs = self.kernel.vfs
@@ -67,9 +75,11 @@ class ServerMachine:
         vfs.mkdir("/etc", parents=True)
         vfs.mkdir("/logs", parents=True)
         vfs.mkdir("/postlog", parents=True)
-        for name in ("apache", "abyss", "sambar", "savant"):
-            vfs.create_file(f"/etc/{name}.conf", size=_CONFIG_FILE_BYTES)
-        vfs.create_file("/etc/abyss.mime", size=_MIME_FILE_BYTES)
+        vfs.create_file(self.server.config_path, size=_CONFIG_FILE_BYTES)
+        if self.server.uses_mime_map:
+            vfs.create_file(
+                f"/etc/{self.server.name}.mime", size=_MIME_FILE_BYTES
+            )
         self._environment_ready = True
 
     def boot(self):

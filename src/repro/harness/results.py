@@ -42,6 +42,14 @@ class InjectionIteration:
     slots_truncated: int = 0
     truncated_seconds: float = 0.0
     activation_enabled: bool = False
+    # Epoch-setup accounting (DESIGN.md §12): machine epochs that came
+    # up via full boot vs snapshot restore, and the count of per-slot
+    # pristine restarts.  Diagnostic — deliberately excluded from the
+    # metrics digest, which must be identical either way.
+    epochs_booted: int = 0
+    epochs_restored: int = 0
+    pristine_restarts: int = 0
+    snapshot_enabled: bool = False
 
     @property
     def admf(self):

@@ -43,8 +43,9 @@ __all__ = [
     "read_telemetry",
 ]
 
-# v3: activation summary (probe records, adaptive-slot truncation).
-MANIFEST_VERSION = 3
+# v4: snapshot summary (epoch-setup accounting: booted vs restored
+# epochs, pristine restarts).
+MANIFEST_VERSION = 4
 TELEMETRY_VERSION = 1
 
 
@@ -232,6 +233,11 @@ class RunManifest:
       whether adaptive slots were on, faults injected/activated, the
       overall activation rate, slots truncated with the simulated
       seconds saved, and the deadline-table size.
+    * ``snapshot`` — the epoch-setup summary: whether epoch snapshots
+      and pristine-slot mode were on, campaign totals for booted vs
+      restored epochs and pristine restarts, and the restore rate.
+      Diagnostic only — restored and booted epochs are digest-identical
+      by construction, which the restored-vs-booted CI gate enforces.
     * ``metrics_digest`` — :func:`metrics_digest` of the final result;
       the determinism gate's comparand.
     * ``created_at`` — unix time the manifest was written.
@@ -254,6 +260,7 @@ class RunManifest:
     supervision: dict = dataclasses.field(default_factory=dict)
     integrity: dict = dataclasses.field(default_factory=dict)
     activation: dict = dataclasses.field(default_factory=dict)
+    snapshot: dict = dataclasses.field(default_factory=dict)
     metrics_digest: str = ""
     created_at: float = 0.0
     manifest_version: int = MANIFEST_VERSION

@@ -24,6 +24,14 @@ tracing overhead.  Built wrappers are also published into the table's
 instance dictionary, so repeat ``ctx.api.NtWriteFile`` lookups bypass
 ``__getattr__`` entirely.
 
+Both classes implement ``__deepcopy__`` because the machine snapshot
+layer (:mod:`repro.harness.snapshot`) deep-copies whole machines:
+``copy.deepcopy`` treats function objects as atomic, so without help a
+copied table would keep the *original* machine's wrappers — closures
+over the original ``ctx`` — and every API call on the copy would
+silently mutate the machine it was copied from.  The copies instead
+drop the wrapper cache and rebuild lazily against the copied state.
+
 Failure semantics: simulated machine conditions (``SimSegfault``,
 ``SimBlockedForever``, ``CpuBudgetExceeded``) always propagate.  Any *other*
 Python exception escaping OS code is a bug of ours when the OS is pristine
@@ -33,6 +41,7 @@ access violation.  ``fault_mode`` is read live — but only on the
 exceptional path, so it costs nothing per successful call.
 """
 
+import copy
 import weakref
 
 from repro.sim.errors import (
@@ -88,6 +97,41 @@ class OsInstance:
         ctx.api = ApiTable(self, ctx)
         return ctx
 
+    def __deepcopy__(self, memo):
+        """Deep-copy for machine snapshots.
+
+        The build is module-level code shared by every machine (the
+        injector mutates it globally, per slot) — it is referenced, not
+        copied.  The table set is rebuilt *before* the tables are
+        copied so each copied table can register itself with the copied
+        instance mid-copy (the default reduce path would try to deep-
+        copy a half-constructed WeakSet instead).
+        """
+        clone = type(self).__new__(type(self))
+        memo[id(self)] = clone
+        clone.build = self.build
+        clone._tables = weakref.WeakSet()
+        clone.kernel = copy.deepcopy(self.kernel, memo)
+        clone.tracer = copy.deepcopy(self.tracer, memo)
+        clone.activation = copy.deepcopy(self.activation, memo)
+        clone.fault_mode = self.fault_mode
+        for table in list(self._tables):
+            copy.deepcopy(table, memo)  # registers with clone._tables
+        return clone
+
+    def __getstate__(self):
+        """Pickle for machine snapshots: tables re-register on load."""
+        state = self.__dict__.copy()
+        del state["_tables"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # A table that unpickled before us (the graph is cyclic) may have
+        # already planted the set via ApiTable.__setstate__.
+        if "_tables" not in self.__dict__:
+            self._tables = weakref.WeakSet()
+
     def __repr__(self):
         return f"OsInstance({self.build.codename}, fault_mode={self.fault_mode})"
 
@@ -122,6 +166,41 @@ class ApiTable:
             wrapper = self._make_wrapper(name)
             self._wrappers[name] = wrapper
             self.__dict__[name] = wrapper
+
+    def __deepcopy__(self, memo):
+        """Deep-copy for machine snapshots.
+
+        Wrappers are closures over ``ctx``/``os`` — ``deepcopy`` would
+        share them, aiming the copied table at the original machine.
+        The copy starts with an empty cache and rebuilds lazily against
+        the copied state on first attribute access.  (This method must
+        exist as a real attribute: the ``getattr(x, '__deepcopy__')``
+        probe in :mod:`copy` otherwise lands in ``__getattr__`` on a
+        half-constructed copy and recurses without end.)
+        """
+        clone = type(self).__new__(type(self))
+        memo[id(self)] = clone
+        clone.__dict__["_wrappers"] = {}
+        clone.__dict__["os"] = copy.deepcopy(self.os, memo)
+        clone.__dict__["ctx"] = copy.deepcopy(self.ctx, memo)
+        clone.os._tables.add(clone)
+        return clone
+
+    def __getstate__(self):
+        """Pickle for machine snapshots: drop the closure cache."""
+        return {"os": self.os, "ctx": self.ctx}
+
+    def __setstate__(self, state):
+        self.__dict__["os"] = state["os"]
+        self.__dict__["ctx"] = state["ctx"]
+        self.__dict__["_wrappers"] = {}
+        # The OsInstance may still be mid-unpickle (its __setstate__ not
+        # yet run); plant the table set for it if so — its __setstate__
+        # keeps whatever is already there.
+        os_instance = state["os"]
+        if "_tables" not in os_instance.__dict__:
+            os_instance.__dict__["_tables"] = weakref.WeakSet()
+        os_instance._tables.add(self)
 
     def has_export(self, name):
         return name in self.os.build.exports()

@@ -187,17 +187,24 @@ class IntegrityAuditor:
     # ------------------------------------------------------------------
     # Audit
     # ------------------------------------------------------------------
-    def audit(self, ctx=None, live_threads=()):
+    def audit(self, ctx=None, live_threads=(), internal=False):
         """Audit the machine (and ``ctx``, the live server process).
 
         ``live_threads`` is the set of thread ids that can still run
         (the non-hung workers plus the main thread); a critical section
         held by any other owner is a dead-owner lock.  Returns an
         :class:`IntegrityReport`; mutates nothing.
+
+        ``internal`` audits (the snapshot layer's capture-reference and
+        restore-verify passes) produce a full report but do not count
+        toward ``audits_performed``, which tracks only the slot
+        protocol's own quiesce audits — so booted and restored epochs
+        report identical audit counts.
         """
         if self._fs_reference is None:
             self.snapshot(ctx)
-        self.audits_performed += 1
+        if not internal:
+            self.audits_performed += 1
         report = IntegrityReport(sim_time=self.kernel.time_source())
         process_alive = ctx is not None and not ctx.terminated
         report.process_audited = process_alive

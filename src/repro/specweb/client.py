@@ -45,6 +45,27 @@ class ClientConfig:
     error_backoff: float = 0.42
 
 
+class _Responder:
+    """Completion callback for one in-flight request.
+
+    A class rather than a closure so that an in-flight request survives a
+    machine snapshot: ``copy.deepcopy`` copies instances (re-aiming
+    ``client``/``connection`` at the copied machine via the memo) but
+    treats closures as atomic, which would leak the original machine into
+    the copy's event queue.
+    """
+
+    __slots__ = ("client", "connection", "seq")
+
+    def __init__(self, client, connection, seq):
+        self.client = client
+        self.connection = connection
+        self.seq = seq
+
+    def __call__(self, response):
+        self.client._on_response(self.connection, self.seq, response)
+
+
 class _Connection:
     __slots__ = ("index", "rate_bps", "generator", "op_seq", "pending",
                  "issued_at", "timeout_event", "idle", "ops", "errors")
@@ -131,16 +152,11 @@ class SpecWebClient:
         )
         self.sim.schedule(
             request_delay, self.transport, request,
-            self._make_responder(connection, seq),
+            _Responder(self, connection, seq),
         )
         connection.timeout_event = self.sim.schedule(
             self.config.op_timeout, self._on_timeout, connection, seq
         )
-
-    def _make_responder(self, connection, seq):
-        def respond(response):
-            self._on_response(connection, seq, response)
-        return respond
 
     def _on_response(self, connection, seq, response):
         if connection.op_seq != seq or connection.pending is None:

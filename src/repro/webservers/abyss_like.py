@@ -41,6 +41,7 @@ class AbyssLikeServer(BaseWebServer):
     self_restart = False
     restart_delay = 0.5
     backlog = 48
+    uses_mime_map = True
     # Abyss rebuilds per-request state from scratch (no caches, immediate
     # log writes, counted-string juggling) — a markedly higher fixed cost
     # per request than Apache's pooled fast path.

@@ -63,6 +63,9 @@ class BaseWebServer:
     crash_burst_window = 4.0
     backlog = 64
     app_overhead_cycles = 120_000
+    # Whether startup loads a /etc/<name>.mime map; the machine only
+    # materializes the file for servers that declare it.
+    uses_mime_map = False
 
     doc_root = "/site"
 

@@ -61,6 +61,51 @@ def test_double_inject_same_fault_rejected(injector):
         injector.inject(location)
 
 
+def test_overlapping_faults_same_function_rejected(injector):
+    locations = scan_function(
+        ntdll50.RtlSizeHeap, display_module="Ntdll"
+    )
+    first, second = locations[0], next(
+        loc for loc in locations
+        if loc.fault_type is not locations[0].fault_type
+    )
+    original = ntdll50.RtlSizeHeap.__code__
+    injector.inject(first)
+    mutant = ntdll50.RtlSizeHeap.__code__
+    count = injector.injection_count
+    # A second fault into the same function would be built from pristine
+    # source: swapping it in would silently erase ``first`` while the
+    # bookkeeping still says ``first`` is active.
+    with pytest.raises(ValueError, match="one fault per function"):
+        injector.inject(second)
+    # The rejection happened before any state moved: the live code is
+    # still the first mutant and no injection was counted.
+    assert ntdll50.RtlSizeHeap.__code__ is mutant
+    assert injector.injection_count == count
+    assert injector.active_locations == [first]
+    # Restore-then-inject is the legal sequence.
+    injector.restore(first)
+    assert ntdll50.RtlSizeHeap.__code__ is original
+    injector.inject(second)
+    assert ntdll50.RtlSizeHeap.__code__ is not original
+    injector.restore(second)
+    assert ntdll50.RtlSizeHeap.__code__ is original
+
+
+def test_profile_mode_allows_repeated_same_function_prepares():
+    injector = FaultInjector(profile_mode=True)
+    locations = scan_function(
+        ntdll50.RtlSizeHeap, display_module="Ntdll"
+    )[:3]
+    original = ntdll50.RtlSizeHeap.__code__
+    # Profile mode never swaps code, so there is nothing to trample:
+    # preparing many faults of one function is the Table 4 measurement.
+    for location in locations:
+        injector.inject(location)
+    assert injector.injection_count == len(locations)
+    assert ntdll50.RtlSizeHeap.__code__ is original
+
+
 def test_two_faults_in_different_functions(injector):
     loc_a = _mia_location(ntdll50.RtlSizeHeap)
     loc_b = _mia_location(ntdll50.NtClose)

@@ -1,5 +1,7 @@
 """Integration tests for the experiment harness (smoke-scale)."""
 
+import dataclasses
+
 import pytest
 
 from repro.harness.config import ExperimentConfig
@@ -36,6 +38,27 @@ def test_machine_boots_with_full_environment(config):
     assert vfs.lookup("/etc/apache.conf") is not None
     assert vfs.lookup("/logs") is not None
     assert vfs.count_files() > config.fileset_directories * 36
+
+
+def test_environment_has_only_active_server_files(config):
+    # Only the deployed server's /etc files exist: dead config files
+    # for servers that never run would bloat every machine snapshot
+    # and widen the VFS audit surface for nothing.
+    machine = ServerMachine(config)
+    assert machine.boot()
+    vfs = machine.kernel.vfs
+    assert vfs.lookup("/etc/abyss.conf") is None
+    assert vfs.lookup("/etc/abyss.mime") is None
+
+    abyss_config = dataclasses.replace(config, server_name="abyss")
+    abyss_machine = ServerMachine(abyss_config)
+    assert abyss_machine.boot()
+    abyss_vfs = abyss_machine.kernel.vfs
+    # Abyss reads its mime map with open-always semantics, so it must
+    # be materialized (with a realistic size) before startup.
+    assert abyss_vfs.lookup("/etc/abyss.conf") is not None
+    assert abyss_vfs.lookup("/etc/abyss.mime") is not None
+    assert abyss_vfs.lookup("/etc/apache.conf") is None
 
 
 def test_baseline_is_clean(baseline):

@@ -1,0 +1,302 @@
+"""Snapshot/restore equivalence suite (DESIGN.md §12, tier-1).
+
+The contract under test: a restored epoch is indistinguishable from a
+booted one.  Same simulated clock, same RNG streams, same workload
+trajectory — so a campaign that restores between slots must produce a
+``metrics_digest`` byte-identical to one that boots between slots.
+Everything here parametrizes that claim: machine-level replay, digest
+parity across builds / worker counts / adaptive mode, contamination
+reboots served from the cache, and the restore-verify fallback when an
+image goes stale.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.faults.faultload import Faultload
+from repro.harness.campaign import ParallelCampaign, campaign_key
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiment import WebServerExperiment
+from repro.harness.machine import ServerMachine
+from repro.harness.results import BenchmarkResult
+from repro.harness.snapshot import (
+    MachineSnapshot,
+    SnapshotCache,
+    snapshot_cache,
+    snapshot_key,
+)
+from repro.harness.telemetry import metrics_digest
+from repro.ossim.integrity import IntegrityAuditor
+
+LEAK_FAULT = "repro.ossim.modules.ntdll50:RtlFreeHeap:MIA:5"
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test starts and ends with an empty process-wide cache."""
+    snapshot_cache().clear()
+    yield
+    snapshot_cache().clear()
+
+
+def smoke_config(**overrides):
+    return ExperimentConfig.smoke(**overrides)
+
+
+def tiny_config(**overrides):
+    """Campaign-sized smoke config (mirrors test_campaign.tiny_config)."""
+    config = smoke_config(fault_sample=8, **overrides)
+    config.rules = type(config.rules)(
+        warmup_seconds=3.0, rampup_seconds=1.0, rampdown_seconds=1.0,
+        iterations=1, slot_seconds=4.0, slot_gap_seconds=1.0,
+        baseline_seconds=12.0,
+    )
+    return config
+
+
+def single_run_digest(config, faultload=None, iteration=1):
+    """Digest of one injection iteration under ``config``."""
+    snapshot_cache().clear()
+    experiment = WebServerExperiment(config)
+    prepared = experiment.prepared_faultload(faultload)
+    run = experiment.run_injection(prepared, iteration=iteration)
+    result = BenchmarkResult(
+        server_name=config.server_name,
+        os_codename=config.os_codename,
+        os_display=experiment.build.display_name,
+    )
+    result.add_iteration(run)
+    return metrics_digest(result), run
+
+
+def seeded_leak_faultload(config, benign_slots=2):
+    """The leaking free plus benign slots (test_integrity_protocol)."""
+    experiment = WebServerExperiment(config)
+    raw = experiment.raw_faultload()
+    by_id = {location.fault_id: location for location in raw}
+    benign = [
+        location for location in raw
+        if "RtlFreeHeap" not in location.fault_id
+        and location.fault_id.split(":")[2] == "MVI"
+    ][:benign_slots]
+    assert len(benign) == benign_slots
+    return Faultload(
+        config.os_codename,
+        tuple([by_id[LEAK_FAULT]] + benign),
+        name="seeded-leak",
+        prepared=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Machine-level: a restore IS the booted machine
+# ----------------------------------------------------------------------
+def test_restored_machine_replays_booted_machine_exactly():
+    config = smoke_config()
+    machine = ServerMachine(config, iteration=1)
+    assert machine.boot()
+    machine.client.start()
+    machine.run_for(
+        config.rules.warmup_seconds + config.rules.rampup_seconds
+    )
+    auditor = IntegrityAuditor(machine.kernel)
+    auditor.snapshot(machine.runtime.ctx)
+    snapshot = MachineSnapshot.capture(
+        snapshot_key(config, 1), machine, auditor
+    )
+    snapshot.reference = auditor.audit(
+        machine.runtime.ctx, internal=True
+    ).to_dict()
+
+    restored, restored_auditor = snapshot.restore()
+    assert restored is not machine
+    # Shared-by-reference objects (see module docstring in snapshot.py):
+    # the config is immutable, the build must stay live for the injector.
+    assert restored.config is machine.config
+    assert restored.build is machine.build
+    # Restore-verify: the restored auditor reproduces the capture-time
+    # report byte-for-byte.
+    verify = restored_auditor.audit(restored.runtime.ctx, internal=True)
+    assert verify.to_dict() == snapshot.reference
+
+    # Both run forward in lockstep: identical clocks and workload.
+    for seconds in (3.0, 7.0):
+        machine.run_for(seconds)
+        restored.run_for(seconds)
+        assert restored.sim.now == machine.sim.now
+        assert restored.client.total_ops() == machine.client.total_ops()
+        assert (restored.client.total_errors()
+                == machine.client.total_errors())
+
+    # A later restore is untouched by the first copy's progress.
+    second, _ = snapshot.restore()
+    assert second.sim.now < restored.sim.now
+    second.run_for(10.0)
+    assert second.sim.now == restored.sim.now
+    assert second.client.total_ops() == restored.client.total_ops()
+    assert snapshot.restores == 2
+
+
+def test_dirty_snapshot_falls_back_to_boot():
+    """A reference mismatch discards the image instead of using it."""
+    config = smoke_config()
+    experiment = WebServerExperiment(config)
+    key = snapshot_key(config, 1)
+    experiment._bring_up(1, None)
+    snapshot = snapshot_cache().get(key)
+    assert snapshot is not None
+    snapshot.reference = dict(snapshot.reference, sim_time=-1.0)
+    assert experiment._restore_epoch(1, None) is None
+    assert snapshot_cache().get(key) is None
+    # The dispatcher then boots: the epoch is usable, just not restored.
+    epoch = experiment._bring_up(1, None)
+    assert epoch.restored is False
+
+
+# ----------------------------------------------------------------------
+# Digest parity: restored epochs == booted epochs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("os_codename", ["nt50", "nt51"])
+def test_pristine_digest_parity_restored_vs_booted(os_codename):
+    base = smoke_config(pristine_slots=True, os_codename=os_codename)
+    snap_digest, snap_run = single_run_digest(
+        dataclasses.replace(base, snapshot_epochs=True)
+    )
+    boot_digest, boot_run = single_run_digest(
+        dataclasses.replace(base, snapshot_epochs=False)
+    )
+    assert snap_digest == boot_digest
+    # The snapshot run really did restore: one boot, the rest restores.
+    assert snap_run.epochs_booted == 1
+    assert snap_run.epochs_restored == snap_run.pristine_restarts > 0
+    assert boot_run.epochs_restored == 0
+    assert boot_run.epochs_booted == boot_run.pristine_restarts + 1
+
+
+def test_nonpristine_digest_parity_restored_vs_booted():
+    base = smoke_config()
+    snap_digest, _ = single_run_digest(
+        dataclasses.replace(base, snapshot_epochs=True)
+    )
+    boot_digest, _ = single_run_digest(
+        dataclasses.replace(base, snapshot_epochs=False)
+    )
+    assert snap_digest == boot_digest
+
+
+def test_pristine_digest_stable_across_runs_and_warm_cache():
+    config = smoke_config(pristine_slots=True)
+    first_digest, first_run = single_run_digest(config)
+    # Second run WITHOUT clearing the cache: every epoch including the
+    # first is served from the warm snapshot — digest must not move.
+    experiment = WebServerExperiment(config)
+    prepared = experiment.prepared_faultload()
+    second_run = experiment.run_injection(prepared, iteration=1)
+    result = BenchmarkResult(
+        server_name=config.server_name,
+        os_codename=config.os_codename,
+        os_display=experiment.build.display_name,
+    )
+    result.add_iteration(second_run)
+    assert metrics_digest(result) == first_digest
+    assert second_run.epochs_booted == 0
+    assert second_run.epochs_restored == first_run.epochs_restored + 1
+
+
+def test_contamination_reboot_served_by_restore():
+    config = smoke_config()
+    faultload = seeded_leak_faultload(config)
+    snap_digest, snap_run = single_run_digest(
+        dataclasses.replace(config, snapshot_epochs=True), faultload
+    )
+    boot_digest, boot_run = single_run_digest(
+        dataclasses.replace(config, snapshot_epochs=False), faultload
+    )
+    for run in (snap_run, boot_run):
+        assert run.contaminated_slots[0]["fault_id"] == LEAK_FAULT
+        assert run.reboots == [{"after_slot": 0, "verified": True}]
+    # The verified reboot was a restore, and it changed nothing the
+    # metrics can see.
+    assert snap_run.epochs_restored == 1
+    assert snap_run.epochs_booted == 1
+    assert boot_run.epochs_booted == 2
+    assert snap_digest == boot_digest
+
+
+def test_campaign_parity_workers_and_snapshots():
+    config = tiny_config(pristine_slots=True)
+    serial = ParallelCampaign(config, workers=1).run(
+        include_baseline=False, include_profile_mode=False
+    )
+    snapshot_cache().clear()
+    parallel = ParallelCampaign(config, workers=2).run(
+        include_baseline=False, include_profile_mode=False
+    )
+    snapshot_cache().clear()
+    booted = ParallelCampaign(
+        dataclasses.replace(config, snapshot_epochs=False), workers=1
+    ).run(include_baseline=False, include_profile_mode=False)
+    digests = {
+        metrics_digest(result) for result in (serial, parallel, booted)
+    }
+    assert len(digests) == 1
+
+
+def test_adaptive_slots_digest_parity():
+    base = smoke_config(adaptive_slots=True)
+    snap_digest, _ = single_run_digest(
+        dataclasses.replace(base, snapshot_epochs=True)
+    )
+    boot_digest, _ = single_run_digest(
+        dataclasses.replace(base, snapshot_epochs=False)
+    )
+    assert snap_digest == boot_digest
+
+
+# ----------------------------------------------------------------------
+# Identity: snapshots fold into the campaign key
+# ----------------------------------------------------------------------
+def test_snapshot_key_separates_configs_and_iterations():
+    config = smoke_config()
+    assert snapshot_key(config, 1) != snapshot_key(config, 2)
+    toggled = dataclasses.replace(config, pristine_slots=True)
+    assert snapshot_key(config, 1) != snapshot_key(toggled, 1)
+
+
+def test_campaign_key_covers_snapshot_fields():
+    config = tiny_config()
+    faultload = WebServerExperiment(config).prepared_faultload()
+    baseline = campaign_key(config, faultload)
+    for field, value in (
+        ("snapshot_epochs", False),
+        ("pristine_slots", True),
+    ):
+        changed = dataclasses.replace(config, **{field: value})
+        assert campaign_key(changed, faultload) != baseline
+
+
+# ----------------------------------------------------------------------
+# Cache mechanics
+# ----------------------------------------------------------------------
+def _fake_snapshot(key):
+    return MachineSnapshot(key, b"", shared=())
+
+
+def test_snapshot_cache_lru_eviction_and_counters():
+    cache = SnapshotCache(max_entries=2)
+    cache.put(_fake_snapshot("a"))
+    cache.put(_fake_snapshot("b"))
+    assert cache.get("a").key == "a"  # refreshes "a"
+    cache.put(_fake_snapshot("c"))  # evicts "b", the LRU entry
+    assert cache.get("b") is None
+    assert cache.get("a") is not None
+    assert cache.get("c") is not None
+    assert (cache.hits, cache.misses) == (3, 1)
+    cache.discard("a")
+    assert cache.get("a") is None
+    cache.resize(1)
+    assert len(cache) == 1
+    cache.clear()
+    assert len(cache) == 0
+    assert (cache.hits, cache.misses) == (0, 0)
