@@ -44,6 +44,10 @@ BENCH_KINDS = {
     "activation": [
         ("activation", "rate", "fine-tuned activation rate"),
     ],
+    "fabric": [
+        ("fabric_scaling", "speedup",
+         "fabric 4-worker loopback speedup"),
+    ],
 }
 
 

@@ -1,10 +1,15 @@
 """Bench: the parallel campaign engine and the scan cache.
 
-Three claims, all load-bearing for production-scale campaigns:
+Four claims, all load-bearing for production-scale campaigns:
 
 * **Equivalence + speedup** — a sharded campaign run with several
   workers produces metrics bit-identical to the single-worker run, and
   finishes faster (each worker simulates its shards concurrently).
+* **Fabric scaling** — the socket coordinator/worker backend
+  (``--backend fabric``) scales the same way in loopback mode, with
+  byte-identical digests between 1 and N workers; its wall-clock at 4
+  workers is recorded in ``BENCH_fabric.json`` for the bench-regression
+  gate.
 * **Adaptive slots** — activation-aware slot scheduling
   (``--adaptive-slots``) cuts campaign wall-clock by >= 25% at equal
   worker count on a *generic* (non-fine-tuned) faultload, because slots
@@ -16,9 +21,11 @@ Three claims, all load-bearing for production-scale campaigns:
   process restarts, which is what the campaign workers hit).
 """
 
+import json
 import os
 import sys
 import time
+from pathlib import Path
 
 from _bench_common import bench_config
 
@@ -36,6 +43,14 @@ from repro.ossim.builds import NT50, NT51
 
 CAMPAIGN_WORKERS = max(2, min(4, os.cpu_count() or 2))
 ADAPTIVE_REDUCTION_FLOOR = 0.25
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+FABRIC_WORKERS = 4
+FABRIC_SPEEDUP_FLOOR = 2.5
+FABRIC_OVERHEAD_CEILING = 1.7
+BENCH_FABRIC_JSON = (
+    Path(__file__).resolve().parent.parent / "BENCH_fabric.json"
+)
 
 
 def _campaign_config():
@@ -85,6 +100,78 @@ def test_parallel_campaign_equivalence_and_speedup(benchmark):
         # Single-core host: no speedup is possible, so just bound the
         # pool's overhead — the mechanism must stay near-free.
         assert parallel_s < serial_s * 1.6
+
+
+# ----------------------------------------------------------------------
+# Fabric scaling (1 vs 4 loopback workers) — emits BENCH_fabric.json
+# ----------------------------------------------------------------------
+def _fabric_config():
+    config = bench_config("apache", "nt50")
+    config.rules = type(config.rules)(
+        warmup_seconds=5.0, rampup_seconds=2.0, rampdown_seconds=2.0,
+        iterations=1, slot_seconds=6.0, slot_gap_seconds=2.0,
+        baseline_seconds=30.0,
+    )
+    config.fault_sample = 16 if SMOKE else 48
+    return config
+
+
+def _run_fabric_campaign(workers):
+    config = _fabric_config()
+    campaign = ParallelCampaign(config, workers=workers,
+                                backend="fabric")
+    started = time.perf_counter()
+    campaign.run(include_baseline=False, include_profile_mode=False)
+    return campaign.manifest, time.perf_counter() - started
+
+
+def test_fabric_scaling(benchmark):
+    """Loopback fabric: digest parity between 1 and 4 workers, and the
+    wall-clock scaling recorded for the regression gate."""
+    def regenerate():
+        return _run_fabric_campaign(1), _run_fabric_campaign(FABRIC_WORKERS)
+
+    (single, single_s), (multi, multi_s) = benchmark.pedantic(
+        regenerate, rounds=1, iterations=1
+    )
+    speedup = single_s / multi_s
+    cpus = os.cpu_count() or 1
+    print()
+    print(f"fabric loopback: workers=1 {single_s:.1f}s, "
+          f"workers={FABRIC_WORKERS} {multi_s:.1f}s "
+          f"({speedup:.2f}x on {cpus} cpus)")
+    assert single.metrics_digest == multi.metrics_digest, (
+        "fabric campaign digest diverged across worker counts"
+    )
+    assert multi.fabric["backend"] == "fabric"
+    assert multi.fabric["worker_deaths"] == 0
+    assert multi.fabric["results"] >= 1
+    payload = {
+        "bench": "fabric",
+        "python": sys.version.split()[0],
+        "smoke": SMOKE,
+        "fabric_scaling": {
+            "workers": FABRIC_WORKERS,
+            "cpus": cpus,
+            "wall_seconds_1": round(single_s, 3),
+            "wall_seconds_n": round(multi_s, 3),
+            "speedup": round(speedup, 3),
+            "steals": multi.fabric["steals"],
+        },
+    }
+    BENCH_FABRIC_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    if cpus >= FABRIC_WORKERS and not SMOKE:
+        # Enough cores: the fabric must deliver real scaling.
+        assert speedup >= FABRIC_SPEEDUP_FLOOR, (
+            f"fabric at {FABRIC_WORKERS} workers only {speedup:.2f}x "
+            f"over 1 (floor {FABRIC_SPEEDUP_FLOOR}x)"
+        )
+    else:
+        # Core-starved host: no speedup is possible, so bound the
+        # coordinator's overhead instead — the wire must stay cheap.
+        assert multi_s < single_s * FABRIC_OVERHEAD_CEILING
 
 
 ADAPTIVE_SAMPLE = 48

@@ -179,12 +179,55 @@ def _cmd_run(args):
     return 0
 
 
+def _validate_campaign_args(args):
+    """Check flag combinations up front; returns an error string or
+    None.  A bad combination should cost the user one clear line, not a
+    traceback from deep inside the campaign."""
+    if args.resume and not args.journal:
+        return "--resume requires --journal"
+    if args.workers is not None and args.workers < 1:
+        return f"--workers must be >= 1, got {args.workers}"
+    if args.slots_per_shard is not None and args.slots_per_shard < 1:
+        return (f"--slots-per-shard must be >= 1, "
+                f"got {args.slots_per_shard}")
+    if args.shard_timeout is not None and args.shard_timeout <= 0:
+        return (f"--shard-timeout must be positive, "
+                f"got {args.shard_timeout}")
+    if args.max_retries < 0:
+        return f"--max-retries must be >= 0, got {args.max_retries}"
+    if args.backend != "fabric":
+        if args.fabric_listen is not None:
+            return "--fabric-listen requires --backend fabric"
+        if args.fabric_loopback is not None:
+            return "--fabric-loopback requires --backend fabric"
+        return None
+    if args.fabric_listen is not None:
+        from repro.harness.fabric.protocol import parse_address
+        try:
+            parse_address(args.fabric_listen)
+        except ValueError as exc:
+            return f"--fabric-listen: {exc}"
+    if args.fabric_loopback is not None:
+        if args.fabric_loopback < 0:
+            return (f"--fabric-loopback must be >= 0, "
+                    f"got {args.fabric_loopback}")
+        if args.fabric_loopback == 0 and args.fabric_listen is None:
+            return ("--fabric-loopback 0 needs --fabric-listen so "
+                    "external workers can supply the capacity")
+    return None
+
+
 def _cmd_campaign(args):
     from repro.harness.campaign import ParallelCampaign
 
-    if args.resume and not args.journal:
-        print("--resume requires --journal", file=sys.stderr)
+    error = _validate_campaign_args(args)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 2
+    fabric_listen = None
+    if args.fabric_listen is not None:
+        from repro.harness.fabric.protocol import parse_address
+        fabric_listen = parse_address(args.fabric_listen)
     config = _make_config(
         args, fault_sample=args.faults, connections=args.connections
     )
@@ -208,6 +251,9 @@ def _cmd_campaign(args):
         max_retries=args.max_retries,
         telemetry_path=args.telemetry,
         manifest_path=args.manifest,
+        backend=args.backend,
+        fabric_listen=fabric_listen,
+        fabric_loopback=args.fabric_loopback,
     )
     result = campaign.run(
         include_baseline=not args.no_baseline,
@@ -261,6 +307,14 @@ def _cmd_campaign(args):
                   f"sim-seconds saved "
                   f"({activation['deadline_functions']} profiled "
                   f"deadline(s))")
+    fabric = manifest.fabric if manifest else {}
+    if fabric.get("backend") == "fabric":
+        alive = sum(1 for worker in fabric.get("roster", [])
+                    if worker.get("alive"))
+        print(f"fabric: {fabric.get('workers', 0)} worker(s) "
+              f"({alive} alive), {fabric.get('steals', 0)} steal(s), "
+              f"{fabric.get('requeues', 0)} requeue(s), "
+              f"{fabric.get('worker_deaths', 0)} death(s)")
     snapshot = manifest.snapshot if manifest else {}
     if snapshot.get("enabled"):
         total = (snapshot.get("epochs_booted", 0)
@@ -284,6 +338,21 @@ def _cmd_campaign(args):
         args, config, result, manifest=manifest,
         telemetry_path=campaign.telemetry_path,
     )
+    return 0
+
+
+def _cmd_campaign_worker(args):
+    from repro.harness.fabric.protocol import parse_address
+    from repro.harness.fabric.worker import FabricWorker
+
+    try:
+        host, port = parse_address(args.address)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    worker = FabricWorker(host, port, name=args.name)
+    completed = worker.run()
+    print(f"worker {worker.name}: {completed} shard(s) completed")
     return 0
 
 
@@ -486,11 +555,42 @@ def build_parser():
              "attached but swap no code (any integrity violation is an "
              "auditor false positive — the clean-machine CI gate)",
     )
+    campaign.add_argument(
+        "--backend", choices=("pool", "fabric"), default="pool",
+        help="shard dispatch backend: in-process worker pool "
+             "(default) or the socket coordinator/worker fabric; the "
+             "metrics digest is identical either way",
+    )
+    campaign.add_argument(
+        "--fabric-listen", metavar="HOST:PORT",
+        help="fabric only: accept external campaign-worker processes "
+             "on this address (default: loopback, ephemeral port)",
+    )
+    campaign.add_argument(
+        "--fabric-loopback", type=int, default=None, metavar="N",
+        help="fabric only: local worker processes to spawn (default: "
+             "--workers when no --fabric-listen, else 0)",
+    )
     _add_activation(campaign)
     _add_snapshot(campaign)
     campaign.add_argument("--export",
                           help="write results to this directory")
     campaign.set_defaults(func=_cmd_campaign)
+
+    worker = subparsers.add_parser(
+        "campaign-worker",
+        help="join a distributed campaign as a fabric worker",
+    )
+    worker.add_argument(
+        "address", metavar="HOST:PORT",
+        help="the campaign coordinator's --fabric-listen address",
+    )
+    worker.add_argument(
+        "--name", default=None,
+        help="worker name in the coordinator's roster "
+             "(default: hostname-pid)",
+    )
+    worker.set_defaults(func=_cmd_campaign_worker)
 
     oltp = subparsers.add_parser(
         "oltp", help="the OLTP case study (walnut vs breezy)"

@@ -43,6 +43,7 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from dataclasses import asdict, dataclass, field, replace
 from functools import partial
 from pathlib import Path
@@ -420,14 +421,41 @@ class CampaignJournal:
             kind = entry.get("kind")
             if kind == "header":
                 journal.header = entry
+                if entry.get("version") != JOURNAL_VERSION:
+                    # Version skew: the payload schema below may not
+                    # round-trip through today's classes.  Keep the
+                    # header (so the caller can diagnose) but replay
+                    # nothing — every unit reruns, which is always
+                    # correct, just slower.
+                    warnings.warn(
+                        f"journal {journal.path} is version "
+                        f"{entry.get('version')} (current "
+                        f"{JOURNAL_VERSION}); ignoring its completed "
+                        "units — they will rerun",
+                        RuntimeWarning, stacklevel=2,
+                    )
+                    break
             elif kind == "phase":
                 journal.phases[entry["phase"]] = SpecWebMetrics(
                     **entry["metrics"]
                 )
             elif kind == "shard":
+                try:
+                    outcome = ShardOutcome.from_dict(entry["outcome"])
+                except (KeyError, TypeError, ValueError) as exc:
+                    # A record today's schema cannot rebuild (e.g. a
+                    # fragment written by a skewed worker): rerun that
+                    # unit instead of dying on it.
+                    warnings.warn(
+                        f"journal {journal.path} line {position + 1}: "
+                        f"unreadable shard record ({exc!r}); that unit "
+                        "will rerun",
+                        RuntimeWarning, stacklevel=2,
+                    )
+                    continue
                 journal.shards[
                     (entry["iteration"], entry["shard"])
-                ] = ShardOutcome.from_dict(entry["outcome"])
+                ] = outcome
         return journal
 
     def _append(self, entry):
@@ -517,6 +545,20 @@ class ParallelCampaign:
         journal is configured, otherwise off / in-memory only.  The
         manifest is always available as ``campaign.manifest`` after
         :meth:`run`.
+    backend:
+        Shard dispatch mechanics: ``"pool"`` (default — in-process
+        ``ProcessPoolExecutor``) or ``"fabric"`` (the socket
+        coordinator/worker backend of :mod:`repro.harness.fabric`).
+        Because the shard plan, seeds, and merge are backend-blind, the
+        ``metrics_digest`` is identical across backends.
+    fabric_listen:
+        ``(host, port)`` for the fabric coordinator to accept external
+        ``campaign-worker`` processes on; None (default) binds loopback
+        on an ephemeral port.
+    fabric_loopback:
+        Local worker processes the fabric spawns itself.  Default: None
+        → ``workers`` when no listen address is given, else 0 (external
+        workers only).
     """
 
     def __init__(self, config, workers=None, slots_per_shard=None,
@@ -524,9 +566,34 @@ class ParallelCampaign:
                  warm_mutants=True, shard_timeout=None,
                  max_retries=DEFAULT_MAX_RETRIES,
                  max_pool_rebuilds=DEFAULT_MAX_POOL_REBUILDS,
-                 telemetry_path=None, manifest_path=None):
+                 telemetry_path=None, manifest_path=None,
+                 backend="pool", fabric_listen=None,
+                 fabric_loopback=None):
+        if backend not in ("pool", "fabric"):
+            raise ValueError(
+                f"unknown backend {backend!r}: expected 'pool' or "
+                "'fabric'"
+            )
+        if backend != "fabric" and (fabric_listen is not None
+                                    or fabric_loopback is not None):
+            raise ValueError(
+                "fabric_listen/fabric_loopback require backend='fabric'"
+            )
+        self.backend = backend
+        self.fabric_listen = fabric_listen
+        self.fabric_loopback = fabric_loopback
         self.config = config
         self.workers = max(1, int(workers or os.cpu_count() or 1))
+        if backend == "fabric":
+            loopback = fabric_loopback
+            if loopback is None:
+                loopback = self.workers if fabric_listen is None else 0
+            if loopback <= 0 and fabric_listen is None:
+                raise ValueError(
+                    "fabric backend with fabric_loopback=0 needs a "
+                    "fabric_listen address for external workers"
+                )
+            self.fabric_loopback = loopback
         self.slots_per_shard = int(
             slots_per_shard or config.conformance_slots
         )
@@ -567,13 +634,19 @@ class ParallelCampaign:
         if self.resume:
             journal = CampaignJournal.load(self.journal_path)
             if journal.header is not None:
-                if not journal.matches(key):
+                if journal.header.get("campaign_key") != key:
                     raise ValueError(
                         f"journal {self.journal_path} belongs to a "
                         "different campaign (config/faultload changed); "
                         "delete it or drop --resume"
                     )
-                return journal
+                if journal.matches(key):
+                    return journal
+                # Same campaign, older journal version: load() already
+                # warned and dropped its units — start a fresh journal
+                # and rerun everything rather than merging half-schema
+                # records.
+                Path(self.journal_path).unlink(missing_ok=True)
         else:
             Path(self.journal_path).unlink(missing_ok=True)
         journal = CampaignJournal(self.journal_path)
@@ -600,6 +673,30 @@ class ParallelCampaign:
         """The picklable per-shard callable one iteration dispatches."""
         return partial(run_shard, self.config, iteration,
                        mutant_cache_dir=self.cache_dir)
+
+    def _backend_factory(self):
+        """The supervisor's backend recipe; None selects the default
+        process pool."""
+        if self.backend == "pool":
+            return None
+        listen = self.fabric_listen
+        loopback = self.fabric_loopback
+        shard_timeout = self.shard_timeout
+
+        def factory():
+            # Imported lazily: the fabric imports campaign (for the
+            # journal version the wire contract is pinned to), so the
+            # top level must not import the fabric back.
+            from repro.harness.fabric.backend import FabricExecutorBackend
+            return FabricExecutorBackend(
+                loopback_workers=loopback,
+                listen=listen,
+                shard_timeout=shard_timeout,
+                journal_version=JOURNAL_VERSION,
+                decoder=ShardOutcome.from_dict,
+            )
+
+        return factory
 
     def _run_iteration(self, journal, shards, iteration, supervisor):
         done = {}
@@ -716,7 +813,9 @@ class ParallelCampaign:
             max_retries=self.max_retries,
             max_pool_rebuilds=self.max_pool_rebuilds,
             telemetry=telemetry,
+            backend_factory=self._backend_factory(),
         )
+        fabric = None
         try:
             for iteration in range(1, self.config.rules.iterations + 1):
                 telemetry.emit("iteration_start", iteration=iteration)
@@ -747,8 +846,11 @@ class ParallelCampaign:
                         len(report.quarantined) if report else 0
                     ),
                 )
+            fabric = supervisor.backend_stats()
         finally:
             supervisor.close()
+        if fabric is None:
+            fabric = supervisor.backend_stats()
         result.quarantine = supervision["quarantined"]
         result.degraded = bool(result.quarantine)
         supervision["degraded"] = result.degraded
@@ -775,6 +877,7 @@ class ParallelCampaign:
             integrity=integrity,
             activation=activation,
             snapshot=snapshot,
+            fabric=fabric,
             metrics_digest=digest,
             created_at=round(time.time(), 6),
         )
@@ -783,6 +886,7 @@ class ParallelCampaign:
         telemetry.emit("integrity_summary", **integrity)
         telemetry.emit("activation_summary", **activation)
         telemetry.emit("snapshot_summary", **snapshot)
+        telemetry.emit("fabric_summary", **fabric)
         telemetry.emit(
             "campaign_end",
             degraded=result.degraded,

@@ -1,0 +1,269 @@
+"""Pluggable executor backends for the shard supervisor.
+
+The supervisor used to be welded to one dispatch mechanism — an
+in-process :class:`~concurrent.futures.ProcessPoolExecutor`.  Scaling a
+campaign beyond one machine's cores means the *mechanics* of running a
+shard (submit it somewhere, learn what happened to it) must be separable
+from the *policy* of supervising it (retries, probation, quarantine,
+serial fallback), which stays in
+:class:`~repro.harness.supervisor.ShardSupervisor`.
+
+A backend implements four methods::
+
+    can_accept()                 -> bool   # room for another dispatch?
+    submit_shard(ticket, shard, task) -> list[ShardEvent]  # dispatch
+    drain(timeout)               -> list[ShardEvent]       # what happened
+    shutdown()                                             # release it
+
+plus an optional ``stats()`` supervision hook returning a JSON-ready
+summary for the run manifest.  Every dispatch is identified by a
+*ticket* (the shard index — unique within one supervised pass), and
+everything the backend has to tell the supervisor travels as
+:class:`ShardEvent` records out of :meth:`drain`: completions, charged
+failures, uncharged requeues, whole-backend losses, and telemetry to be
+emitted from the supervisor's thread (backends may run threads of their
+own, and the telemetry writer is single-threaded by design).
+
+Two backends exist: :class:`PoolExecutorBackend` here (the default —
+the original process-pool path, behaviour preserved) and the socket
+coordinator in :mod:`repro.harness.fabric` (workers on other processes
+or other machines, pull-based work stealing).
+"""
+
+import math
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PoolExecutorBackend",
+    "ShardEvent",
+    "terminate_pool_processes",
+]
+
+
+@dataclass
+class ShardEvent:
+    """One thing a backend has to tell the supervisor.
+
+    ``kind`` is one of:
+
+    * ``done``         — ``ticket`` completed with ``outcome``.
+    * ``failed``       — ``ticket`` suffered a *charged* failure
+      (``reason``); the supervisor retries or quarantines it.
+    * ``requeue``      — ``ticket`` must re-run but is *not* charged
+      (innocent bystander of a backend loss).
+    * ``backend_lost`` — the execution substrate itself failed (pool
+      broke, every fabric worker gone); counts against the supervisor's
+      rebuild budget and triggers serial fallback when exhausted.
+    * ``info``         — telemetry only: emit ``event`` with ``fields``
+      on the supervisor's stream (thread-safe funnel for backends that
+      run their own threads).
+
+    ``probation``/``front`` say where a surviving ``failed``/``requeue``
+    attempt goes: the probation queue (solo re-dispatch) or the pending
+    queue, optionally at the front.
+    """
+
+    kind: str
+    ticket: int | None = None
+    outcome: object = None
+    seconds: float = 0.0
+    reason: str = ""
+    probation: bool = False
+    front: bool = False
+    event: str = ""
+    fields: dict = field(default_factory=dict)
+
+
+def terminate_pool_processes(pool):
+    """Hard-kill a process pool's workers, best-effort.
+
+    A hung worker never returns, so the only way to reclaim it is to
+    terminate the processes under the executor.  The ``_processes`` map
+    is executor-internal (stable since 3.7) — when it is absent (another
+    executor implementation, a test double, a future stdlib) this falls
+    back to ``shutdown(cancel_futures=True)`` so the pool is still
+    released rather than leaked.  Returns the number of processes
+    terminated.
+    """
+    processes = getattr(pool, "_processes", None)
+    if processes is None:
+        pool.shutdown(wait=False, cancel_futures=True)
+        return 0
+    killed = 0
+    for process in list(processes.values()):
+        try:
+            if process.is_alive():
+                process.terminate()
+                killed += 1
+        except (OSError, ValueError):
+            pass
+    return killed
+
+
+class PoolExecutorBackend:
+    """The original dispatch mechanics: one ProcessPoolExecutor.
+
+    Capacity is the worker count; a dispatch carries an optional
+    wall-clock deadline.  Failure translation:
+
+    * a task exception is a charged ``failed`` (crash);
+    * ``BrokenProcessPool`` poisons every in-flight future, so the
+      culprit is ambiguous — a solo victim is charged, multiple victims
+      are requeued uncharged onto probation;
+    * a deadline overrun charges the hung dispatch, and the whole pool
+      is torn down (a hung worker cannot be preempted any other way) —
+      innocents go back to the front of the pending queue.
+    """
+
+    def __init__(self, workers=1, *, shard_timeout=None):
+        self.workers = max(1, int(workers))
+        self.shard_timeout = shard_timeout
+        self._pool = None
+        self._running = {}
+
+    # ------------------------------------------------------------------
+    def can_accept(self):
+        return len(self._running) < self.workers
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _discard_pool(self, kill=False):
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            terminate_pool_processes(pool)
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def submit_shard(self, ticket, shard, task):
+        pool = self._ensure_pool()
+        try:
+            future = pool.submit(task, shard)
+        except BrokenProcessPool:
+            # The pool died between our last drain and this submit.
+            self._discard_pool()
+            return [
+                ShardEvent("backend_lost", reason="submit-on-broken"),
+                ShardEvent("requeue", ticket=ticket,
+                           reason="submit-on-broken",
+                           probation=True, front=True),
+            ]
+        now = time.monotonic()
+        deadline = (math.inf if self.shard_timeout is None
+                    else now + self.shard_timeout)
+        self._running[future] = (ticket, deadline, now)
+        return []
+
+    def drain(self, timeout):
+        if not self._running:
+            return []
+        done, _ = wait(list(self._running), timeout=timeout,
+                       return_when=FIRST_COMPLETED)
+        now = time.monotonic()
+        events = []
+        broken = []
+        for future in done:
+            ticket, _deadline, started = self._running.pop(future)
+            exception = future.exception()
+            if exception is None:
+                events.append(ShardEvent(
+                    "done", ticket=ticket, outcome=future.result(),
+                    seconds=now - started,
+                ))
+            elif isinstance(exception, BrokenProcessPool):
+                broken.append(ticket)
+            else:
+                events.append(ShardEvent(
+                    "failed", ticket=ticket,
+                    reason=f"crash: {exception!r}",
+                ))
+        if broken:
+            events.extend(self._pool_loss(broken, now))
+            return events
+        events.extend(self._check_deadlines(now))
+        return events
+
+    def _pool_loss(self, broken, now):
+        """A worker died; every in-flight future is (or will be) broken."""
+        events = []
+        victims = list(broken)
+        for future in list(self._running):
+            ticket, _deadline, started = self._running.pop(future)
+            if future.done() and future.exception() is None:
+                # Finished in the gap between the kill and our drain.
+                events.append(ShardEvent(
+                    "done", ticket=ticket, outcome=future.result(),
+                    seconds=now - started,
+                ))
+            else:
+                victims.append(ticket)
+        self._discard_pool()
+        events.append(ShardEvent(
+            "backend_lost", reason="worker-died",
+            fields={"suspects": list(victims)},
+        ))
+        if len(victims) == 1:
+            # Solo dispatch: the culprit is unambiguous — charge it.
+            events.append(ShardEvent(
+                "failed", ticket=victims[0],
+                reason="worker died (pool lost)", probation=True,
+            ))
+        else:
+            # Culprit unknown: everyone goes to probation, uncharged,
+            # to be re-run one at a time.
+            events.extend(
+                ShardEvent("requeue", ticket=ticket,
+                           reason="pool lost", probation=True)
+                for ticket in victims
+            )
+        return events
+
+    def _check_deadlines(self, now):
+        hung = {
+            future for future, (_t, deadline, _s) in self._running.items()
+            if now >= deadline
+        }
+        if not hung:
+            return []
+        events = []
+        for future in list(self._running):
+            ticket, _deadline, started = self._running.pop(future)
+            if future in hung:
+                events.append(ShardEvent(
+                    "failed", ticket=ticket,
+                    reason=(f"hang: exceeded {self.shard_timeout}s "
+                            f"deadline"),
+                    probation=True,
+                ))
+            elif future.done() and future.exception() is None:
+                events.append(ShardEvent(
+                    "done", ticket=ticket, outcome=future.result(),
+                    seconds=now - started,
+                ))
+            else:
+                # Innocent bystander: requeue uncharged, ahead of new
+                # work.
+                events.append(ShardEvent(
+                    "requeue", ticket=ticket, reason="pool torn down",
+                    front=True,
+                ))
+        # A hung worker cannot be preempted individually — kill the pool.
+        self._discard_pool(kill=True)
+        events.append(ShardEvent("backend_lost", reason="hang"))
+        return events
+
+    def shutdown(self):
+        self._discard_pool()
+
+    def stats(self):
+        return {"backend": "pool", "workers": self.workers}

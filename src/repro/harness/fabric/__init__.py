@@ -1,0 +1,41 @@
+"""Socket coordinator/worker campaign fabric.
+
+The executor backend that scales a campaign beyond one process pool: a
+TCP coordinator (:mod:`.coordinator`) registers workers, hands out
+shards via pull-based work stealing, and watches heartbeats against
+per-shard wall-clock deadlines; a worker (:mod:`.worker`) is a plain
+process — on this machine or another — that steals shards, runs them,
+and ships :class:`~repro.harness.campaign.ShardOutcome` fragments back
+over length-prefixed JSON frames (:mod:`.protocol`).  The supervisor
+drives it all through :class:`.backend.FabricExecutorBackend`, which is
+also where loopback mode (local worker processes) lives.
+
+The wire contract *is* the journal record format: a result frame
+carries exactly the dict :meth:`ShardOutcome.to_dict` writes into the
+v5 journal, tagged with the journal version so skewed workers are
+rejected rather than silently merged.  Because the campaign's merge is
+exactly-once and order-independent, an N-worker fabric campaign is
+byte-digest-identical to a serial run — the determinism gate holds.
+"""
+
+from repro.harness.fabric.backend import FabricExecutorBackend
+from repro.harness.fabric.coordinator import FabricCoordinator
+from repro.harness.fabric.protocol import (
+    PROTOCOL_VERSION,
+    FrameError,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.harness.fabric.worker import FabricWorker
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FabricCoordinator",
+    "FabricExecutorBackend",
+    "FabricWorker",
+    "FrameError",
+    "parse_address",
+    "recv_frame",
+    "send_frame",
+]

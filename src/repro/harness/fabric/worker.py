@@ -1,0 +1,156 @@
+"""The fabric worker: steal a shard, run it, ship the fragment back.
+
+A worker is one process with one TCP connection.  Its loop is dumb on
+purpose — register, then steal/run/report until the coordinator says
+``shutdown`` or the connection dies.  All supervision intelligence
+(deadlines, retries, quarantine) lives on the coordinator side; the
+worker's only obligations are to heartbeat while a shard is running (so
+a *hang* is distinguishable from a *death*) and to tag every result
+with the journal version it was built against (so a skewed worker's
+fragments are rejected instead of merged).
+
+The result payload is ``outcome.to_dict()`` — the exact record the
+campaign journal writes — so the wire contract inherits the journal's
+round-trip guarantees and the merged campaign stays byte-digest-
+identical to a serial run.
+
+``chaos_kill_after_assignments`` is the CI fault injector for the
+fault injector: the worker SIGKILLs itself on receiving its Nth
+assignment, exercising the death/requeue path in a real campaign.
+"""
+
+import base64
+import os
+import pickle
+import signal
+import socket
+import threading
+
+from repro.harness.fabric.protocol import (
+    PROTOCOL_VERSION,
+    FrameError,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["FabricWorker"]
+
+
+class FabricWorker:
+    """One worker process's connection to a fabric coordinator."""
+
+    def __init__(self, host, port, *, name=None, journal_version=None,
+                 chaos_kill_after_assignments=None):
+        if journal_version is None:
+            # The version this worker's checkout writes; imported lazily
+            # so a skewed test double can override it.
+            from repro.harness.campaign import JOURNAL_VERSION
+            journal_version = JOURNAL_VERSION
+        self.host = host
+        self.port = port
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.journal_version = journal_version
+        self.chaos_kill_after_assignments = chaos_kill_after_assignments
+        self._assignments = 0
+        self._send_lock = threading.Lock()
+
+    def _send(self, sock, message):
+        with self._send_lock:
+            send_frame(sock, message)
+
+    def run(self):
+        """Serve until shutdown/rejection/connection loss.
+
+        Returns the number of shards completed (0 also on rejection).
+        """
+        completed = 0
+        with socket.create_connection((self.host, self.port)) as conn:
+            self._send(conn, {
+                "type": "register",
+                "name": self.name,
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "protocol": PROTOCOL_VERSION,
+                "journal_version": self.journal_version,
+            })
+            ack = recv_frame(conn)
+            if not isinstance(ack, dict) or ack.get("type") != "registered":
+                return 0
+            heartbeat_seconds = float(ack.get("heartbeat_seconds", 0.5))
+            while True:
+                try:
+                    self._send(conn, {"type": "steal"})
+                    message = recv_frame(conn)
+                except (OSError, FrameError):
+                    return completed
+                if message is None:
+                    return completed
+                kind = message.get("type")
+                if kind == "shutdown":
+                    try:
+                        self._send(conn, {"type": "goodbye"})
+                    except (OSError, FrameError):
+                        pass
+                    return completed
+                if kind == "wait":
+                    _sleep(float(message.get("seconds", 0.05)))
+                    continue
+                if kind != "assign":
+                    continue
+                self._assignments += 1
+                if (self.chaos_kill_after_assignments is not None
+                        and self._assignments
+                        >= self.chaos_kill_after_assignments):
+                    # CI chaos mode: die like a real worker dies — no
+                    # goodbye, no cleanup, mid-assignment.
+                    os.kill(os.getpid(), signal.SIGKILL)
+                completed += self._run_assignment(
+                    conn, message, heartbeat_seconds)
+
+    def _run_assignment(self, conn, message, heartbeat_seconds):
+        ticket = message.get("ticket")
+        stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(conn, stop, heartbeat_seconds),
+            name="fabric-heartbeat", daemon=True)
+        heartbeat.start()
+        try:
+            task, shard = pickle.loads(
+                base64.b64decode(message["payload"]))
+            outcome = task(shard)
+        except BaseException as exception:  # noqa: BLE001 — report, don't die
+            stop.set()
+            heartbeat.join()
+            try:
+                self._send(conn, {
+                    "type": "error",
+                    "ticket": ticket,
+                    "error": repr(exception),
+                })
+            except (OSError, FrameError):
+                pass
+            return 0
+        stop.set()
+        heartbeat.join()
+        payload = (outcome.to_dict()
+                   if hasattr(outcome, "to_dict") else outcome)
+        self._send(conn, {
+            "type": "result",
+            "ticket": ticket,
+            "journal_version": self.journal_version,
+            "outcome": payload,
+        })
+        return 1
+
+    def _heartbeat_loop(self, conn, stop, interval):
+        while not stop.wait(interval):
+            try:
+                self._send(conn, {"type": "heartbeat"})
+            except (OSError, FrameError):
+                return
+
+
+def _sleep(seconds):
+    # time.sleep via an Event so tests can monkeypatch trivially.
+    threading.Event().wait(seconds)

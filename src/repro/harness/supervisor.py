@@ -9,8 +9,8 @@ interpreter down, a host can OOM-kill a worker, a pathological fault can
 hang a shard forever.  Before this module, any of those raised straight
 out of ``as_completed`` and lost the entire campaign.
 
-:class:`ShardSupervisor` sits between the campaign and its worker pool
-and turns worker failure into an explicit, bounded protocol:
+:class:`ShardSupervisor` sits between the campaign and its executor
+backend and turns worker failure into an explicit, bounded protocol:
 
 * **Crash** — a shard task that raises is retried on a fresh dispatch,
   up to ``max_retries`` retries.
@@ -21,38 +21,37 @@ and turns worker failure into an explicit, bounded protocol:
   time on a rebuilt pool: a shard that dies solo is unambiguously
   guilty and is charged; innocents complete and are cleared.  This is
   what keeps one poison shard from dragging its neighbours into
-  quarantine.
+  quarantine.  (Backends where every dispatch is solo — the fabric —
+  charge a lost dispatch directly; there is no ambiguity to resolve.)
 * **Hang** — every dispatch carries a wall-clock deadline
-  (``shard_timeout``).  A shard that exceeds it is charged, the pool is
-  torn down (a hung worker cannot be preempted any other way), and the
-  remaining in-flight shards are requeued uncharged.
+  (``shard_timeout``).  A shard that exceeds it is charged and the
+  backend reclaims whatever it must to preempt it (the pool backend
+  tears the whole pool down; the fabric drops one worker).
 * **Quarantine** — a shard charged more than ``max_retries`` times is
   recorded as a :class:`QuarantinedShard` (with the fault ids it was
   carrying) instead of being retried forever.  The campaign then
   completes with ``degraded=True`` rather than dying.
-* **Serial fallback** — if the pool is lost more than
-  ``max_pool_rebuilds`` times the supervisor stops trusting process
-  isolation and runs the remaining shards in-process, serially.  Hangs
-  cannot be detected in this mode (there is no one left to watch), but
-  crashes are still retried and quarantined.
+* **Serial fallback** — if the backend is lost more than
+  ``max_pool_rebuilds`` times the supervisor stops trusting it and runs
+  the remaining shards in-process, serially.  Hangs cannot be detected
+  in this mode (there is no one left to watch), but crashes are still
+  retried and quarantined.
 
-The supervisor is deliberately generic: ``run(shards, task)`` accepts
-any picklable ``task(shard) -> outcome`` callable, which is what the
-supervision tests exploit to inject crashes, kills, and hangs without a
-real campaign underneath.
+The *mechanics* of dispatch live behind the executor-backend interface
+of :mod:`repro.harness.executors`: the supervisor owns only the policy
+above and is generic over any backend — the default process pool, the
+socket fabric of :mod:`repro.harness.fabric`, or a test double.  It is
+also generic over the task: ``run(shards, task)`` accepts any picklable
+``task(shard) -> outcome`` callable, which is what the supervision tests
+exploit to inject crashes, kills, and hangs without a real campaign
+underneath.
 """
 
-import math
 import time
 from collections import deque
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    ProcessPoolExecutor,
-    wait,
-)
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from repro.harness.executors import PoolExecutorBackend
 from repro.harness.telemetry import NullTelemetry
 
 __all__ = [
@@ -114,18 +113,22 @@ class _Attempt:
 
 
 class ShardSupervisor:
-    """Runs shard tasks on a worker pool and survives the pool.
+    """Runs shard tasks on an executor backend and survives the backend.
 
-    One supervisor owns at most one :class:`ProcessPoolExecutor` at a
-    time and may be reused across many :meth:`run` calls (the campaign
-    reuses it across iterations so the fork cost is paid once).  Call
-    :meth:`close` — or use it as a context manager — when done.
+    One supervisor owns at most one backend at a time and may be reused
+    across many :meth:`run` calls (the campaign reuses it across
+    iterations so the pool-fork or worker-registration cost is paid
+    once).  ``backend_factory`` selects the dispatch mechanics; the
+    default builds a :class:`~repro.harness.executors.PoolExecutorBackend`
+    over ``workers`` processes.  Call :meth:`close` — or use it as a
+    context manager — when done.
     """
 
     def __init__(self, workers=1, *, shard_timeout=None,
                  max_retries=DEFAULT_MAX_RETRIES,
                  max_pool_rebuilds=DEFAULT_MAX_POOL_REBUILDS,
-                 poll_seconds=0.05, telemetry=None):
+                 poll_seconds=0.05, telemetry=None,
+                 backend_factory=None):
         if shard_timeout is not None and shard_timeout <= 0:
             raise ValueError("shard_timeout must be positive (or None)")
         if max_retries < 0:
@@ -136,7 +139,9 @@ class ShardSupervisor:
         self.max_pool_rebuilds = max_pool_rebuilds
         self.poll_seconds = poll_seconds
         self.telemetry = telemetry if telemetry is not None else NullTelemetry()
-        self._pool = None
+        self._backend_factory = backend_factory
+        self._backend = None
+        self._last_stats = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -148,32 +153,36 @@ class ShardSupervisor:
         self.close()
 
     def close(self):
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        self._release_backend()
 
-    def _ensure_pool(self):
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool
+    def _ensure_backend(self):
+        if self._backend is None:
+            if self._backend_factory is not None:
+                self._backend = self._backend_factory()
+            else:
+                self._backend = PoolExecutorBackend(
+                    self.workers, shard_timeout=self.shard_timeout
+                )
+        return self._backend
 
-    def _discard_pool(self, kill=False):
-        pool, self._pool = self._pool, None
-        if pool is None:
+    def _release_backend(self):
+        if self._backend is None:
             return
-        if kill:
-            # A hung worker never returns, so the only way to reclaim it
-            # is to terminate the processes under the executor.  The
-            # _processes map is executor-internal but stable since 3.7;
-            # failing to reach it only leaks the worker, never the run.
-            processes = getattr(pool, "_processes", None) or {}
-            for process in list(processes.values()):
-                try:
-                    if process.is_alive():
-                        process.terminate()
-                except (OSError, ValueError):
-                    pass
-        pool.shutdown(wait=False, cancel_futures=True)
+        stats = getattr(self._backend, "stats", None)
+        if stats is not None:
+            self._last_stats = dict(stats())
+        self._backend.shutdown()
+        self._backend = None
+
+    def backend_stats(self):
+        """Supervision hook: the active backend's manifest summary."""
+        if self._backend is not None:
+            stats = getattr(self._backend, "stats", None)
+            if stats is not None:
+                return dict(stats())
+        if self._last_stats is not None:
+            return dict(self._last_stats)
+        return {"backend": "pool", "workers": self.workers}
 
     # ------------------------------------------------------------------
     # Entry point
@@ -190,25 +199,28 @@ class ShardSupervisor:
         shards = list(shards)
         if not shards:
             return report
-        if self.workers <= 1 or len(shards) == 1:
+        if self._backend_factory is None and (
+                self.workers <= 1 or len(shards) == 1):
             queue = deque(_Attempt(shard) for shard in shards)
             self._run_serial(queue, task, report, on_outcome)
             return report
-        self._run_pool(shards, task, report, on_outcome)
+        self._run_backend(shards, task, report, on_outcome)
         return report
 
     # ------------------------------------------------------------------
-    # Pool mode
+    # Backend mode
     # ------------------------------------------------------------------
-    def _run_pool(self, shards, task, report, on_outcome):
+    def _run_backend(self, shards, task, report, on_outcome):
+        backend = self._ensure_backend()
         pending = deque(_Attempt(shard) for shard in shards)
         probation = deque()
-        running = {}
-        while pending or probation or running:
+        inflight = {}
+        queues = (pending, probation, inflight)
+        while pending or probation or inflight:
             if (report.pool_rebuilds > self.max_pool_rebuilds
-                    and not running):
-                # The pool keeps dying under us: stop trusting process
-                # isolation and finish in-process.
+                    and not inflight):
+                # The backend keeps dying under us: stop trusting it and
+                # finish in-process.
                 report.serial_fallback = True
                 self.telemetry.emit(
                     "serial_fallback",
@@ -219,124 +231,73 @@ class ShardSupervisor:
                 queue.extend(pending)
                 probation.clear()
                 pending.clear()
-                self._discard_pool()
+                self._release_backend()
                 self._run_serial(queue, task, report, on_outcome)
                 return
             # Dispatch.  While probation is non-empty, shards run one at
             # a time: a solo failure identifies its culprit exactly.
             if probation:
-                if not running:
-                    self._dispatch(running, probation.popleft(), task,
-                                   report, probation)
+                if not inflight:
+                    self._submit(backend, probation.popleft(), task,
+                                 queues, report, on_outcome)
             else:
-                while pending and len(running) < self.workers:
-                    self._dispatch(running, pending.popleft(), task,
-                                   report, probation)
-            if not running:
+                while pending and backend.can_accept():
+                    self._submit(backend, pending.popleft(), task,
+                                 queues, report, on_outcome)
+            if not inflight:
                 continue
-            done, _ = wait(list(running), timeout=self.poll_seconds,
-                           return_when=FIRST_COMPLETED)
-            now = time.monotonic()
-            broken = []
-            for future in done:
-                attempt, _deadline, started = running.pop(future)
-                exception = future.exception()
-                if exception is None:
-                    self._complete(report, attempt, future.result(),
-                                   now - started, on_outcome)
-                elif isinstance(exception, BrokenProcessPool):
-                    broken.append(attempt)
-                else:
-                    if not self._fail(report, attempt,
-                                      f"crash: {exception!r}"):
-                        pending.append(attempt)
-            if broken:
-                self._handle_pool_loss(running, broken, probation,
-                                       report, on_outcome)
+            events = backend.drain(self.poll_seconds)
+            self._apply_events(events, queues, report, on_outcome)
+
+    def _submit(self, backend, attempt, task, queues, report, on_outcome):
+        _pending, _probation, inflight = queues
+        ticket = attempt.shard.index
+        inflight[ticket] = attempt
+        events = backend.submit_shard(ticket, attempt.shard, task)
+        if events:
+            self._apply_events(events, queues, report, on_outcome)
+        if ticket in inflight and not events:
+            self.telemetry.emit(
+                "shard_dispatch",
+                shard=attempt.shard.index,
+                attempt=len(attempt.failures) + 1,
+            )
+
+    def _apply_events(self, events, queues, report, on_outcome):
+        pending, probation, inflight = queues
+        for event in events:
+            if event.kind == "info":
+                self.telemetry.emit(event.event, **event.fields)
                 continue
-            self._check_deadlines(running, pending, probation, report,
-                                  on_outcome, now)
+            if event.kind == "backend_lost":
+                report.pool_rebuilds += 1
+                self.telemetry.emit("pool_rebuild", reason=event.reason,
+                                    **event.fields)
+                continue
+            attempt = inflight.pop(event.ticket, None)
+            if attempt is None:
+                # A late event for a ticket already resolved (e.g. a
+                # result that raced its worker's death): ignore.
+                continue
+            if event.kind == "done":
+                self._complete(report, attempt, event.outcome,
+                               event.seconds, on_outcome)
+            elif event.kind == "failed":
+                if not self._fail(report, attempt, event.reason):
+                    self._requeue(attempt, event, pending, probation)
+            elif event.kind == "requeue":
+                self._requeue(attempt, event, pending, probation)
 
-    def _dispatch(self, running, attempt, task, report, probation):
-        pool = self._ensure_pool()
-        try:
-            future = pool.submit(task, attempt.shard)
-        except BrokenProcessPool:
-            # The pool died between our last drain and this submit.
-            self._discard_pool()
-            report.pool_rebuilds += 1
-            self.telemetry.emit("pool_rebuild", reason="submit-on-broken")
-            probation.appendleft(attempt)
-            return
-        now = time.monotonic()
-        deadline = (math.inf if self.shard_timeout is None
-                    else now + self.shard_timeout)
-        running[future] = (attempt, deadline, now)
-        self.telemetry.emit(
-            "shard_dispatch",
-            shard=attempt.shard.index,
-            attempt=len(attempt.failures) + 1,
-        )
-
-    def _handle_pool_loss(self, running, broken, probation, report,
-                          on_outcome):
-        """A worker died; every in-flight future is (or will be) broken."""
-        victims = list(broken)
-        now = time.monotonic()
-        for future in list(running):
-            attempt, _deadline, started = running.pop(future)
-            if future.done() and future.exception() is None:
-                # Finished in the gap between the kill and our drain.
-                self._complete(report, attempt, future.result(),
-                               now - started, on_outcome)
-            else:
-                victims.append(attempt)
-        self._discard_pool()
-        report.pool_rebuilds += 1
-        self.telemetry.emit(
-            "pool_rebuild",
-            reason="worker-died",
-            suspects=[victim.shard.index for victim in victims],
-        )
-        if len(victims) == 1:
-            # Solo dispatch: the culprit is unambiguous — charge it.
-            victim = victims[0]
-            if not self._fail(report, victim, "worker died (pool lost)"):
-                probation.append(victim)
+    @staticmethod
+    def _requeue(attempt, event, pending, probation):
+        queue = probation if event.probation else pending
+        if event.front:
+            queue.appendleft(attempt)
         else:
-            # Culprit unknown: everyone goes to probation, uncharged,
-            # to be re-run one at a time.
-            probation.extend(victims)
-
-    def _check_deadlines(self, running, pending, probation, report,
-                         on_outcome, now):
-        hung = {
-            future for future, (_a, deadline, _s) in running.items()
-            if now >= deadline
-        }
-        if not hung:
-            return
-        for future in list(running):
-            attempt, _deadline, started = running.pop(future)
-            if future in hung:
-                if not self._fail(
-                    report, attempt,
-                    f"hang: exceeded {self.shard_timeout}s deadline",
-                ):
-                    probation.append(attempt)
-            elif future.done() and future.exception() is None:
-                self._complete(report, attempt, future.result(),
-                               now - started, on_outcome)
-            else:
-                # Innocent bystander: requeue uncharged, ahead of new work.
-                pending.appendleft(attempt)
-        # A hung worker cannot be preempted individually — kill the pool.
-        self._discard_pool(kill=True)
-        report.pool_rebuilds += 1
-        self.telemetry.emit("pool_rebuild", reason="hang")
+            queue.append(attempt)
 
     # ------------------------------------------------------------------
-    # Serial mode (workers=1, single shard, or pool fallback)
+    # Serial mode (workers=1, single shard, or backend fallback)
     # ------------------------------------------------------------------
     def _run_serial(self, queue, task, report, on_outcome):
         while queue:

@@ -43,9 +43,12 @@ __all__ = [
     "read_telemetry",
 ]
 
+# v5: executor-backend summary (``fabric`` block: backend kind, worker
+# roster, steal/requeue/heartbeat/death counters) — diagnostic only,
+# never part of the metrics digest.
 # v4: snapshot summary (epoch-setup accounting: booted vs restored
 # epochs, pristine restarts).
-MANIFEST_VERSION = 4
+MANIFEST_VERSION = 5
 TELEMETRY_VERSION = 1
 
 
@@ -238,6 +241,13 @@ class RunManifest:
       restored epochs and pristine restarts, and the restore rate.
       Diagnostic only — restored and booted epochs are digest-identical
       by construction, which the restored-vs-booted CI gate enforces.
+    * ``fabric`` — the executor-backend summary: which backend
+      dispatched the shards (``pool`` or ``fabric``) and, for the
+      fabric, the worker roster (name/pid/host/shards done/alive) with
+      steal/requeue/heartbeat/worker-death/version-skew counters.
+      Diagnostic only — the shard plan, seeds, and merge are
+      backend-blind, so the digest is identical across backends, which
+      the fabric CI gate enforces.
     * ``metrics_digest`` — :func:`metrics_digest` of the final result;
       the determinism gate's comparand.
     * ``created_at`` — unix time the manifest was written.
@@ -261,6 +271,7 @@ class RunManifest:
     integrity: dict = dataclasses.field(default_factory=dict)
     activation: dict = dataclasses.field(default_factory=dict)
     snapshot: dict = dataclasses.field(default_factory=dict)
+    fabric: dict = dataclasses.field(default_factory=dict)
     metrics_digest: str = ""
     created_at: float = 0.0
     manifest_version: int = MANIFEST_VERSION

@@ -10,6 +10,7 @@ import json
 import pytest
 
 from repro.harness.campaign import (
+    JOURNAL_VERSION,
     CampaignJournal,
     ParallelCampaign,
     ShardOutcome,
@@ -267,9 +268,10 @@ def test_journal_load_drops_truncated_final_line(tmp_path):
 def test_journal_load_raises_on_mid_file_corruption(tmp_path):
     journal_path = tmp_path / "campaign.jsonl"
     journal_path.write_text(
-        '{"kind": "header", "version": 2, "campaign_key": "k"}\n'
+        '{"kind": "header", "version": %d, "campaign_key": "k"}\n'
         '{"kind": "shard", "iteration": 1, "sh\n'
         '{"kind": "phase", "phase": "baseline", "metrics": {}}\n'
+        % JOURNAL_VERSION
     )
     with pytest.raises(json.JSONDecodeError):
         CampaignJournal.load(journal_path)

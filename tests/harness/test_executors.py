@@ -1,0 +1,154 @@
+"""Tier-1 tests for the executor-backend layer.
+
+The pool backend's failure translation (crash / pool loss / hang) is
+covered end-to-end by ``test_supervisor.py`` through the supervisor; the
+units here pin the pieces with contracts of their own: the hard-kill
+helper's fallback when the executor lacks the internal ``_processes``
+map, and the backend's event vocabulary for the simple paths.
+"""
+
+import time
+from functools import partial
+
+from repro.harness.campaign import CampaignShard
+from repro.harness.executors import (
+    PoolExecutorBackend,
+    terminate_pool_processes,
+)
+
+
+class _FakeProcess:
+    def __init__(self):
+        self.terminated = False
+        self.alive = True
+
+    def is_alive(self):
+        return self.alive
+
+    def terminate(self):
+        self.terminated = True
+        self.alive = False
+
+
+class _FakePoolWithProcesses:
+    def __init__(self, processes):
+        self._processes = {index: p for index, p in enumerate(processes)}
+        self.shutdown_calls = []
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdown_calls.append((wait, cancel_futures))
+
+
+class _FakePoolWithoutProcesses:
+    """An executor with no ``_processes`` internals (e.g. a future
+    stdlib, or any non-process executor)."""
+
+    def __init__(self):
+        self.shutdown_calls = []
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdown_calls.append((wait, cancel_futures))
+
+
+def test_terminate_kills_live_processes_only():
+    live, dead = _FakeProcess(), _FakeProcess()
+    dead.alive = False
+    pool = _FakePoolWithProcesses([live, dead])
+    assert terminate_pool_processes(pool) == 1
+    assert live.terminated
+    assert not dead.terminated
+    # The helper only kills; shutdown stays the caller's job.
+    assert pool.shutdown_calls == []
+
+
+def test_terminate_falls_back_to_shutdown_without_processes_map():
+    pool = _FakePoolWithoutProcesses()
+    assert terminate_pool_processes(pool) == 0
+    assert pool.shutdown_calls == [(False, True)]
+
+
+def test_terminate_survives_a_dying_process():
+    class _RacyProcess(_FakeProcess):
+        def terminate(self):
+            raise OSError("already gone")
+
+    pool = _FakePoolWithProcesses([_RacyProcess(), _FakeProcess()])
+    # One raises, the other is still counted.
+    assert terminate_pool_processes(pool) == 1
+
+
+def test_terminate_on_real_pool():
+    from concurrent.futures import ProcessPoolExecutor
+
+    pool = ProcessPoolExecutor(max_workers=1)
+    pool.submit(time.sleep, 0).result()  # force the worker to exist
+    assert terminate_pool_processes(pool) == 1
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# PoolExecutorBackend event vocabulary
+# ----------------------------------------------------------------------
+def _shard(index):
+    return CampaignShard(index=index, first_slot=index, locations=())
+
+
+def _echo(value, shard):
+    return (value, shard.index)
+
+
+def _boom(shard):
+    raise RuntimeError(f"boom {shard.index}")
+
+
+def _drain_all(backend, deadline=10.0):
+    events = []
+    end = time.monotonic() + deadline
+    while not events and time.monotonic() < end:
+        events = backend.drain(0.05)
+    return events
+
+
+def test_pool_backend_done_event():
+    backend = PoolExecutorBackend(workers=1)
+    try:
+        assert backend.can_accept()
+        assert backend.submit_shard(7, _shard(7), partial(_echo, "x")) == []
+        assert not backend.can_accept()
+        events = _drain_all(backend)
+        assert [e.kind for e in events] == ["done"]
+        assert events[0].ticket == 7
+        assert events[0].outcome == ("x", 7)
+        assert events[0].seconds >= 0.0
+        assert backend.can_accept()
+    finally:
+        backend.shutdown()
+
+
+def test_pool_backend_crash_is_charged():
+    backend = PoolExecutorBackend(workers=1)
+    try:
+        backend.submit_shard(3, _shard(3), _boom)
+        events = _drain_all(backend)
+        assert [e.kind for e in events] == ["failed"]
+        assert events[0].ticket == 3
+        assert "boom 3" in events[0].reason
+        assert not events[0].probation  # crash retries on the pool
+    finally:
+        backend.shutdown()
+
+
+def test_pool_backend_drain_without_work_is_empty():
+    backend = PoolExecutorBackend(workers=2)
+    try:
+        assert backend.drain(0.01) == []
+    finally:
+        backend.shutdown()
+
+
+def test_pool_backend_stats():
+    backend = PoolExecutorBackend(workers=3)
+    try:
+        assert backend.stats() == {"backend": "pool", "workers": 3}
+    finally:
+        backend.shutdown()

@@ -74,3 +74,81 @@ def test_campaign_command_writes_manifest(tmp_path, capsys):
     assert payload["workers"] == 1
     assert payload["supervision"]["degraded"] is False
     assert len(payload["metrics_digest"]) == 64
+
+
+# ----------------------------------------------------------------------
+# Campaign flag validation (up-front, one clear line, exit code 2)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    ("argv", "message"),
+    [
+        (["campaign", "--resume"], "--resume requires --journal"),
+        (["campaign", "--workers", "0"], "--workers must be >= 1"),
+        (["campaign", "--slots-per-shard", "0"],
+         "--slots-per-shard must be >= 1"),
+        (["campaign", "--shard-timeout", "-1"],
+         "--shard-timeout must be positive"),
+        (["campaign", "--max-retries", "-1"],
+         "--max-retries must be >= 0"),
+        (["campaign", "--fabric-listen", "127.0.0.1:9"],
+         "--fabric-listen requires --backend fabric"),
+        (["campaign", "--fabric-loopback", "2"],
+         "--fabric-loopback requires --backend fabric"),
+        (["campaign", "--backend", "fabric",
+          "--fabric-listen", "no-port"],
+         "must be host:port"),
+        (["campaign", "--backend", "fabric", "--fabric-loopback", "-1"],
+         "--fabric-loopback must be >= 0"),
+        (["campaign", "--backend", "fabric", "--fabric-loopback", "0"],
+         "needs --fabric-listen"),
+    ],
+)
+def test_campaign_flag_validation(capsys, argv, message):
+    assert main(argv) == 2
+    assert message in capsys.readouterr().err
+
+
+def test_campaign_backend_defaults():
+    args = build_parser().parse_args(["campaign"])
+    assert args.backend == "pool"
+    assert args.fabric_listen is None
+    assert args.fabric_loopback is None
+
+
+def test_campaign_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["campaign", "--backend", "carrier"])
+
+
+def test_campaign_worker_parses_address():
+    args = build_parser().parse_args(
+        ["campaign-worker", "10.0.0.5:7000", "--name", "w7"]
+    )
+    assert args.address == "10.0.0.5:7000"
+    assert args.name == "w7"
+
+
+def test_campaign_worker_rejects_bad_address(capsys):
+    assert main(["campaign-worker", "nocolonhere"]) == 2
+    assert "host:port" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_campaign_fabric_backend_end_to_end(tmp_path, capsys):
+    manifest_path = tmp_path / "run.manifest.json"
+    code = main([
+        "campaign", "--faults", "8", "--connections", "4",
+        "--workers", "2", "--backend", "fabric",
+        "--no-baseline", "--no-profile",
+        "--manifest", str(manifest_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "metrics digest:" in out
+    assert "fabric:" in out
+    import json
+
+    payload = json.loads(manifest_path.read_text())
+    assert payload["fabric"]["backend"] == "fabric"
+    assert payload["fabric"]["results"] >= 1
+    assert len(payload["metrics_digest"]) == 64
