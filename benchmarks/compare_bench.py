@@ -10,6 +10,10 @@ CI uses this for two gates:
   campaign's overall fault-activation rate must not drop more than
   ``--tolerance`` below the recorded floor.
 
+It also understands ``BENCH_fabric.json`` (fabric loopback scaling) and
+``BENCH_sequential.json`` (sequential-injection slot reduction), both
+wired into the same bench-regression job.
+
 Speedups are ratios (warm vs cold on the *same* host) and activation
 rates are workload facts, so both are largely machine-independent —
 which is what makes a cross-host comparison against a checked-in record
@@ -47,6 +51,10 @@ BENCH_KINDS = {
     "fabric": [
         ("fabric_scaling", "speedup",
          "fabric 4-worker loopback speedup"),
+    ],
+    "sequential": [
+        ("sequential_injection", "slot_reduction_percent",
+         "sequential-injection slot reduction"),
     ],
 }
 

@@ -95,6 +95,88 @@ def _add_activation(parser):
     )
 
 
+def _add_sequential(parser):
+    parser.add_argument(
+        "--sequential", action="store_true",
+        help="sequential statistical injection: stratify the faultload "
+             "by fault type, run batches, and stop each stratum once "
+             "the confidence interval of every tracked metric "
+             "(SPCf/THRf/RTMf, ADMf, ER%%f) is tighter than the target "
+             "— run until confidence, not until done",
+    )
+    parser.add_argument(
+        "--ci-target", type=float, default=None, metavar="FRACTION",
+        help="target relative interval half-width per metric "
+             "(default: 0.10; a stratum stops when half_width <= "
+             "target * max(|mean|, 1))",
+    )
+    parser.add_argument(
+        "--ci-confidence", type=float, default=None, metavar="LEVEL",
+        help="two-sided confidence level of the intervals "
+             "(default: 0.95)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="SLOTS",
+        help="slots per sequential batch — the dispatch unit and the "
+             "batch-means observation unit (default: one conformance "
+             "batch)",
+    )
+    parser.add_argument(
+        "--min-slots", type=int, default=None, metavar="SLOTS",
+        help="per-stratum floor: never stop on confidence before this "
+             "many slots (default: two batches)",
+    )
+    parser.add_argument(
+        "--max-slots", type=int, default=None, metavar="SLOTS",
+        help="per-stratum ceiling: stop after this many slots even "
+             "without convergence (default: the stratum's full size)",
+    )
+
+
+def _validate_sequential_args(args):
+    """Flag-combination checks for the sequential sampling flags."""
+    knobs = (
+        ("--ci-target", args.ci_target),
+        ("--ci-confidence", args.ci_confidence),
+        ("--batch-size", args.batch_size),
+        ("--min-slots", args.min_slots),
+        ("--max-slots", args.max_slots),
+    )
+    if not args.sequential:
+        for name, value in knobs:
+            if value is not None:
+                return f"{name} requires --sequential"
+        return None
+    if args.ci_target is not None and args.ci_target <= 0:
+        return f"--ci-target must be positive, got {args.ci_target}"
+    if args.ci_confidence is not None and not (
+            0.0 < args.ci_confidence < 1.0):
+        return (f"--ci-confidence must be in (0, 1), "
+                f"got {args.ci_confidence}")
+    if args.batch_size is not None and args.batch_size < 1:
+        return f"--batch-size must be >= 1, got {args.batch_size}"
+    if args.min_slots is not None and args.min_slots < 1:
+        return f"--min-slots must be >= 1, got {args.min_slots}"
+    if args.max_slots is not None:
+        if args.max_slots < 1:
+            return f"--max-slots must be >= 1, got {args.max_slots}"
+        if args.min_slots is not None and args.max_slots < args.min_slots:
+            return (f"--max-slots ({args.max_slots}) must be >= "
+                    f"--min-slots ({args.min_slots})")
+    return None
+
+
+def _apply_sequential(args, config):
+    config.sequential = args.sequential
+    if args.ci_target is not None:
+        config.ci_target = args.ci_target
+    if args.ci_confidence is not None:
+        config.ci_confidence = args.ci_confidence
+    config.sequential_batch_slots = args.batch_size
+    config.sequential_min_slots = args.min_slots
+    config.sequential_max_slots = args.max_slots
+
+
 def _make_config(args, **overrides):
     config = ExperimentConfig.scaled(**overrides)
     config.os_codename = args.os_codename
@@ -195,6 +277,9 @@ def _validate_campaign_args(args):
                 f"got {args.shard_timeout}")
     if args.max_retries < 0:
         return f"--max-retries must be >= 0, got {args.max_retries}"
+    error = _validate_sequential_args(args)
+    if error is not None:
+        return error
     if args.backend != "fabric":
         if args.fabric_listen is not None:
             return "--fabric-listen requires --backend fabric"
@@ -239,6 +324,7 @@ def _cmd_campaign(args):
     config.track_activation = not args.no_track_activation
     config.adaptive_slots = args.adaptive_slots
     _apply_snapshot(args, config)
+    _apply_sequential(args, config)
     campaign = ParallelCampaign(
         config,
         workers=args.workers,
@@ -315,6 +401,23 @@ def _cmd_campaign(args):
               f"({alive} alive), {fabric.get('steals', 0)} steal(s), "
               f"{fabric.get('requeues', 0)} requeue(s), "
               f"{fabric.get('worker_deaths', 0)} death(s)")
+    sequential = manifest.sequential if manifest else {}
+    if sequential.get("enabled"):
+        saved = sequential.get("slots_saved_percent")
+        saved_text = "n/a" if saved is None else f"{saved:.1f}%"
+        print(f"sequential: {sequential['executed_slots']} of "
+              f"{sequential['planned_slots']} slot(s) executed "
+              f"({sequential['slots_skipped']} skipped, {saved_text} "
+              f"saved) at ci-target {sequential['ci_target']}, "
+              f"confidence {sequential['ci_confidence']}")
+        reasons = {}
+        for per_iteration in sequential.get("stop_reasons", {}).values():
+            for reason in per_iteration:
+                reasons[reason] = reasons.get(reason, 0) + 1
+        if reasons:
+            text = ", ".join(f"{reason}={count}" for reason, count
+                             in sorted(reasons.items()))
+            print(f"  stratum stop reasons: {text}")
     snapshot = manifest.snapshot if manifest else {}
     if snapshot.get("enabled"):
         total = (snapshot.get("epochs_booted", 0)
@@ -573,6 +676,7 @@ def build_parser():
     )
     _add_activation(campaign)
     _add_snapshot(campaign)
+    _add_sequential(campaign)
     campaign.add_argument("--export",
                           help="write results to this directory")
     campaign.set_defaults(func=_cmd_campaign)

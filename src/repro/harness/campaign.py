@@ -56,10 +56,15 @@ from repro.gswfit.cache import (
 )
 from repro.harness.experiment import WebServerExperiment, profile_servers
 from repro.harness.results import BenchmarkResult, InjectionIteration
+from repro.harness.sequential import (
+    SequentialController,
+    plan_sequential_strata,
+)
 from repro.harness.supervisor import (
     DEFAULT_MAX_POOL_REBUILDS,
     DEFAULT_MAX_RETRIES,
     ShardSupervisor,
+    SupervisionReport,
 )
 from repro.harness.telemetry import (
     NullTelemetry,
@@ -84,10 +89,13 @@ __all__ = [
     "run_shard",
 ]
 
+# v6: sequential campaigns append ``batch`` records — the per-stratum
+# stopping decisions — alongside the shard outcomes they were derived
+# from, so a resumed run can be audited against the uninterrupted one.
 # v5: shard outcomes carry epoch-setup accounting (booted vs restored
 # epochs, pristine restarts); older journals rerun rather than merge
 # half-schema outcomes.
-JOURNAL_VERSION = 5
+JOURNAL_VERSION = 6
 
 
 # ----------------------------------------------------------------------
@@ -391,6 +399,11 @@ class CampaignJournal:
       :class:`SpecWebMetrics` fields.
     * ``shard``  — a completed ``(iteration, shard)`` with its
       :class:`ShardOutcome`.
+    * ``batch``  — a sequential-mode stopping record: which stratum the
+      shard belonged to, the slots executed so far, and the decision the
+      controller took after folding it in.  Audit trail only — resume
+      *recomputes* decisions from the replayed shard outcomes (a pure
+      function, so they match), and tests assert they do.
     """
 
     def __init__(self, path):
@@ -398,6 +411,7 @@ class CampaignJournal:
         self.header = None
         self.phases = {}
         self.shards = {}
+        self.batches = {}
 
     @classmethod
     def load(cls, path):
@@ -456,6 +470,10 @@ class CampaignJournal:
                 journal.shards[
                     (entry["iteration"], entry["shard"])
                 ] = outcome
+            elif kind == "batch":
+                journal.batches[
+                    (entry["iteration"], entry["shard"])
+                ] = entry
         return journal
 
     def _append(self, entry):
@@ -501,6 +519,19 @@ class CampaignJournal:
             "shard": outcome.shard_index,
             "outcome": outcome.to_dict(),
         })
+
+    def record_batch(self, iteration, shard_index, stratum,
+                     executed_slots, stop_reason):
+        entry = {
+            "kind": "batch",
+            "iteration": iteration,
+            "shard": shard_index,
+            "stratum": stratum,
+            "executed_slots": executed_slots,
+            "stop_reason": stop_reason,
+        }
+        self.batches[(iteration, shard_index)] = entry
+        self._append(entry)
 
 
 # ----------------------------------------------------------------------
@@ -721,6 +752,117 @@ class ParallelCampaign:
         )
         return merged, report
 
+    def _run_sequential_iteration(self, journal, strata, iteration,
+                                  supervisor):
+        """One iteration in sequential mode: batch rounds until every
+        stratum stops.
+
+        Each round dispatches the next pending batch of every open
+        stratum through the supervisor (pool and fabric benefit
+        identically), then feeds completions back to the controller in
+        fault-type order — arrival order never reaches a decision.
+        Journaled batches replay instead of dispatching, and because the
+        controller's decisions are pure functions of the replayed
+        outcomes, a resumed campaign stops every stratum exactly where
+        the uninterrupted run would have.
+        """
+        controller = SequentialController(self.config, strata)
+        done = {}
+        report = SupervisionReport()
+        ran_live = False
+        task = self._shard_task(iteration)
+        while True:
+            round_batches = controller.next_round()
+            if not round_batches:
+                break
+            todo = []
+            replayed = set()
+            for _state, batch in round_batches:
+                outcome = (
+                    journal.shards.get((iteration, batch.index))
+                    if journal is not None else None
+                )
+                if outcome is not None:
+                    done[batch.index] = outcome
+                    replayed.add(batch.index)
+                else:
+                    todo.append(batch)
+            if todo:
+                ran_live = True
+
+                def record(outcome):
+                    done[outcome.shard_index] = outcome
+                    if journal is not None:
+                        journal.record_shard(iteration, outcome)
+
+                round_report = supervisor.run(
+                    todo, task, on_outcome=record
+                )
+                report.retries += round_report.retries
+                report.pool_rebuilds += round_report.pool_rebuilds
+                report.serial_fallback = (
+                    report.serial_fallback
+                    or round_report.serial_fallback
+                )
+                report.quarantined.extend(round_report.quarantined)
+                report.outcomes.update(round_report.outcomes)
+            for state, batch in round_batches:
+                # A quarantined batch never completed: done has no
+                # entry, and the stratum stops rather than sampling
+                # around the hole.
+                controller.complete_batch(
+                    state, batch, done.get(batch.index)
+                )
+                if journal is not None and batch.index not in replayed:
+                    journal.record_batch(
+                        iteration, batch.index, state.plan.fault_type,
+                        state.executed_slots, state.stop_reason,
+                    )
+        merged = merge_outcomes(
+            done.values(), iteration, self.config.client.connections
+        )
+        return merged, (report if ran_live else None), controller.summary()
+
+    def _sequential_summary(self, per_iteration, strata):
+        """The manifest's ``sequential`` block (diagnostic, outside the
+        metrics digest — stopping decisions are *reflected in* the
+        executed slot set the digest covers, they are not hashed
+        themselves)."""
+        if strata is None:
+            return {"enabled": False}
+        planned = (
+            sum(plan.planned_slots for plan in strata)
+            * max(1, len(per_iteration))
+        )
+        executed = sum(
+            summary["executed_slots"] for summary in per_iteration
+        )
+        skipped = planned - executed
+        stopping_points = {}
+        stop_reasons = {}
+        for summary in per_iteration:
+            for fault_type, slots in summary["stopping_points"].items():
+                stopping_points.setdefault(fault_type, []).append(slots)
+            for fault_type, reason in summary["stop_reasons"].items():
+                stop_reasons.setdefault(fault_type, []).append(reason)
+        return {
+            "enabled": True,
+            "ci_target": self.config.ci_target,
+            "ci_confidence": self.config.ci_confidence,
+            "batch_slots": self.config.resolved_sequential_batch(),
+            "min_slots": self.config.resolved_sequential_min_slots(),
+            "max_slots": self.config.sequential_max_slots,
+            "planned_slots": planned,
+            "executed_slots": executed,
+            "slots_skipped": skipped,
+            "slots_saved_percent": (
+                round(100.0 * skipped / planned, 6) if planned else None
+            ),
+            "stopping_points": stopping_points,
+            "stop_reasons": stop_reasons,
+            "per_iteration": per_iteration,
+        }
+
     # ------------------------------------------------------------------
     def run(self, faultload=None, include_baseline=True,
             include_profile_mode=True):
@@ -769,7 +911,18 @@ class ParallelCampaign:
             timings["warm_mutants"] = round(
                 time.perf_counter() - started, 6
             )
-        shards = plan_shards(faultload, self.slots_per_shard)
+        strata = None
+        if self.config.sequential:
+            # Sequential mode: the shard plan is the stratified batch
+            # plan — still a pure function of (faultload, config), so
+            # the campaign key and every shard seed are unchanged by
+            # worker count or backend.
+            strata = plan_sequential_strata(
+                faultload, self.config.resolved_sequential_batch()
+            )
+            shards = [batch for plan in strata for batch in plan.batches]
+        else:
+            shards = plan_shards(faultload, self.slots_per_shard)
         key = campaign_key(self.config, faultload)
         journal = self._open_journal(key, len(shards))
         telemetry.emit(
@@ -816,13 +969,22 @@ class ParallelCampaign:
             backend_factory=self._backend_factory(),
         )
         fabric = None
+        sequential_iterations = []
         try:
             for iteration in range(1, self.config.rules.iterations + 1):
                 telemetry.emit("iteration_start", iteration=iteration)
                 started = time.perf_counter()
-                merged, report = self._run_iteration(
-                    journal, shards, iteration, supervisor
-                )
+                if strata is not None:
+                    merged, report, stratum_summary = (
+                        self._run_sequential_iteration(
+                            journal, strata, iteration, supervisor
+                        )
+                    )
+                    sequential_iterations.append(stratum_summary)
+                else:
+                    merged, report = self._run_iteration(
+                        journal, shards, iteration, supervisor
+                    )
                 timings[f"iteration-{iteration}"] = round(
                     time.perf_counter() - started, 6
                 )
@@ -857,6 +1019,8 @@ class ParallelCampaign:
         integrity = self._integrity_summary(result)
         activation = self._activation_summary(result)
         snapshot = self._snapshot_summary(result)
+        sequential = self._sequential_summary(sequential_iterations, strata)
+        result.sequential = sequential
         digest = metrics_digest(result)
         self.manifest = RunManifest(
             campaign_key=key,
@@ -878,6 +1042,7 @@ class ParallelCampaign:
             activation=activation,
             snapshot=snapshot,
             fabric=fabric,
+            sequential=sequential,
             metrics_digest=digest,
             created_at=round(time.time(), 6),
         )
@@ -887,6 +1052,11 @@ class ParallelCampaign:
         telemetry.emit("activation_summary", **activation)
         telemetry.emit("snapshot_summary", **snapshot)
         telemetry.emit("fabric_summary", **fabric)
+        telemetry.emit(
+            "sequential_summary",
+            **{key: value for key, value in sequential.items()
+               if key != "per_iteration"},
+        )
         telemetry.emit(
             "campaign_end",
             degraded=result.degraded,

@@ -113,6 +113,47 @@ class ExperimentConfig:
     # batches; we group this many consecutive slots per conformance batch.
     conformance_slots: int = 6
 
+    # Sequential statistical injection (DESIGN.md §14).  When on, the
+    # campaign stratifies the faultload by fault type, runs each stratum
+    # in batches, and stops a stratum once the confidence interval of
+    # every tracked derived metric (SPCf/THRf/RTMf, ADMf, ER%f) is
+    # tighter than the target — "run until confidence, not until done".
+    # Every knob below is part of the campaign key, so two runs with the
+    # same stopping schedule produce byte-identical digests for any
+    # worker count or backend.
+    sequential: bool = False
+
+    # Target relative half-width: a stratum's interval for a metric is
+    # tight enough when half_width <= ci_target * max(|mean|, 1.0) (the
+    # 1.0 floor keeps near-zero metrics such as ADMf from demanding an
+    # impossible relative precision).
+    ci_target: float = 0.10
+
+    # Two-sided confidence level of the intervals.
+    ci_confidence: float = 0.95
+
+    # Slots per sequential batch (the unit of dispatch and the
+    # batch-means observation unit).  None = one conformance batch.
+    sequential_batch_slots: int | None = None
+
+    # Per-stratum floor: never stop on confidence before this many
+    # slots.  None = two batches (the minimum that yields a variance).
+    sequential_min_slots: int | None = None
+
+    # Per-stratum ceiling: stop after this many slots even without
+    # convergence.  None = the stratum's full planned size.
+    sequential_max_slots: int | None = None
+
+    def resolved_sequential_batch(self):
+        """The effective sequential batch size in slots."""
+        return int(self.sequential_batch_slots or self.conformance_slots)
+
+    def resolved_sequential_min_slots(self):
+        """The effective per-stratum slot floor (>= two batches)."""
+        if self.sequential_min_slots is not None:
+            return int(self.sequential_min_slots)
+        return 2 * self.resolved_sequential_batch()
+
     def iteration_seed(self, iteration):
         """Seed for one iteration: same workload family, fresh draws."""
         return self.seed * 1_000 + iteration

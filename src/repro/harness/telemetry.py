@@ -43,12 +43,15 @@ __all__ = [
     "read_telemetry",
 ]
 
+# v6: sequential-sampling summary (``sequential`` block: stopping
+# schedule, per-stratum stopping points, interval trajectories,
+# slots_skipped) — diagnostic only, never part of the metrics digest.
 # v5: executor-backend summary (``fabric`` block: backend kind, worker
 # roster, steal/requeue/heartbeat/death counters) — diagnostic only,
 # never part of the metrics digest.
 # v4: snapshot summary (epoch-setup accounting: booted vs restored
 # epochs, pristine restarts).
-MANIFEST_VERSION = 5
+MANIFEST_VERSION = 6
 TELEMETRY_VERSION = 1
 
 
@@ -248,6 +251,16 @@ class RunManifest:
       Diagnostic only — the shard plan, seeds, and merge are
       backend-blind, so the digest is identical across backends, which
       the fabric CI gate enforces.
+    * ``sequential`` — the sequential-sampling summary: whether the
+      mode ran, the full stopping schedule (target, confidence, batch /
+      min / max slots), planned vs executed slots with
+      ``slots_skipped``, per-stratum stopping points and stop reasons,
+      and each stratum's confidence-interval trajectory.  Diagnostic
+      only — the stopping decisions are *reflected in* the executed
+      slot set (which the digest covers); the block itself is never
+      hashed, so interval bookkeeping can evolve without breaking
+      digest parity.  The sequential-gate CI job compares
+      ``stopping_points`` across worker counts and backends.
     * ``metrics_digest`` — :func:`metrics_digest` of the final result;
       the determinism gate's comparand.
     * ``created_at`` — unix time the manifest was written.
@@ -272,6 +285,7 @@ class RunManifest:
     activation: dict = dataclasses.field(default_factory=dict)
     snapshot: dict = dataclasses.field(default_factory=dict)
     fabric: dict = dataclasses.field(default_factory=dict)
+    sequential: dict = dataclasses.field(default_factory=dict)
     metrics_digest: str = ""
     created_at: float = 0.0
     manifest_version: int = MANIFEST_VERSION
