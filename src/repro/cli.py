@@ -8,6 +8,8 @@ Subcommands mirror the methodology's steps and the paper's exhibits:
 * ``run``       — one server/OS campaign (Table 5 rows)
 * ``campaign``  — the same campaign sharded across worker processes,
   with scan caching and checkpoint/resume
+* ``serve``     — campaign-as-a-service: accept specs over HTTP into a
+  durable queue, run them with crash-safe recovery
 * ``tables``    — regenerate every table for a scaled campaign
 """
 
@@ -302,17 +304,13 @@ def _validate_campaign_args(args):
     return None
 
 
-def _cmd_campaign(args):
-    from repro.harness.campaign import ParallelCampaign
-
-    error = _validate_campaign_args(args)
-    if error is not None:
-        print(error, file=sys.stderr)
-        return 2
-    fabric_listen = None
-    if args.fabric_listen is not None:
-        from repro.harness.fabric.protocol import parse_address
-        fabric_listen = parse_address(args.fabric_listen)
+def _campaign_config(args):
+    """Build the :class:`ExperimentConfig` a ``campaign`` invocation
+    describes.  The service daemon calls this with the same namespace a
+    CLI parse would produce, so a spec submitted over HTTP yields the
+    same campaign key — and the same metrics digest — as the equivalent
+    command line, by construction rather than by parallel maintenance.
+    """
     config = _make_config(
         args, fault_sample=args.faults, connections=args.connections
     )
@@ -325,22 +323,42 @@ def _cmd_campaign(args):
     config.adaptive_slots = args.adaptive_slots
     _apply_snapshot(args, config)
     _apply_sequential(args, config)
-    campaign = ParallelCampaign(
-        config,
-        workers=args.workers,
-        slots_per_shard=args.slots_per_shard,
-        journal_path=args.journal,
-        resume=args.resume,
-        cache_dir=args.cache_dir,
-        warm_mutants=not args.no_warm_mutants,
-        shard_timeout=args.shard_timeout,
-        max_retries=args.max_retries,
-        telemetry_path=args.telemetry,
-        manifest_path=args.manifest,
-        backend=args.backend,
-        fabric_listen=fabric_listen,
-        fabric_loopback=args.fabric_loopback,
-    )
+    return config
+
+
+def _campaign_kwargs(args):
+    """ParallelCampaign keyword arguments for a ``campaign`` namespace
+    (shared with the service daemon, like :func:`_campaign_config`)."""
+    fabric_listen = None
+    if args.fabric_listen is not None:
+        from repro.harness.fabric.protocol import parse_address
+        fabric_listen = parse_address(args.fabric_listen)
+    return {
+        "workers": args.workers,
+        "slots_per_shard": args.slots_per_shard,
+        "journal_path": args.journal,
+        "resume": args.resume,
+        "cache_dir": args.cache_dir,
+        "warm_mutants": not args.no_warm_mutants,
+        "shard_timeout": args.shard_timeout,
+        "max_retries": args.max_retries,
+        "telemetry_path": args.telemetry,
+        "manifest_path": args.manifest,
+        "backend": args.backend,
+        "fabric_listen": fabric_listen,
+        "fabric_loopback": args.fabric_loopback,
+    }
+
+
+def _cmd_campaign(args):
+    from repro.harness.campaign import ParallelCampaign
+
+    error = _validate_campaign_args(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    config = _campaign_config(args)
+    campaign = ParallelCampaign(config, **_campaign_kwargs(args))
     result = campaign.run(
         include_baseline=not args.no_baseline,
         include_profile_mode=not args.no_profile,
@@ -453,10 +471,24 @@ def _cmd_campaign_worker(args):
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    worker = FabricWorker(host, port, name=args.name)
+    if args.max_reconnects < 0:
+        print(f"--max-reconnects must be >= 0, got "
+              f"{args.max_reconnects}", file=sys.stderr)
+        return 2
+    worker = FabricWorker(
+        host, port, name=args.name, max_reconnects=args.max_reconnects
+    )
     completed = worker.run()
-    print(f"worker {worker.name}: {completed} shard(s) completed")
+    print(f"worker {worker.name}: {completed} shard(s) completed"
+          + (f" ({worker.reconnects} reconnect(s))"
+             if worker.reconnects else ""))
     return 0
+
+
+def _cmd_serve(args):
+    from repro.harness.service import serve
+
+    return serve(args)
 
 
 def _cmd_oltp(args):
@@ -694,7 +726,55 @@ def build_parser():
         help="worker name in the coordinator's roster "
              "(default: hostname-pid)",
     )
+    worker.add_argument(
+        "--max-reconnects", type=int, default=0, metavar="N",
+        help="redial the coordinator up to N times after a dropped "
+             "connection, with exponential backoff + jitter "
+             "(default: 0 — die on first loss)",
+    )
     worker.set_defaults(func=_cmd_campaign_worker)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the campaign service daemon: accept campaign specs "
+             "over HTTP, queue them durably, run them through the "
+             "campaign engine with crash-safe recovery",
+    )
+    serve.add_argument(
+        "--home", required=True,
+        help="service state directory (spec queue, per-campaign "
+             "journals, exports); restarting with the same --home "
+             "resumes interrupted work",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="HTTP bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="HTTP port (default: 0 — pick an ephemeral port and "
+             "print it)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=16, metavar="N",
+        help="admission control: queued + running campaigns beyond "
+             "this are shed with a retryable 429 (default: 16)",
+    )
+    serve.add_argument(
+        "--campaign-budget", type=float, default=None, metavar="SECONDS",
+        help="per-campaign wall-clock budget; a campaign past it is "
+             "interrupted at the next shard-round boundary and marked "
+             "failed (default: unlimited)",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=5.0, metavar="SECONDS",
+        help="Retry-After hint returned with shed submissions "
+             "(default: 5)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="runs a campaign may fail before it is abandoned "
+             "(default: 3; retries back off exponentially)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     oltp = subparsers.add_parser(
         "oltp", help="the OLTP case study (walnut vs breezy)"

@@ -55,6 +55,7 @@ from repro.gswfit.cache import (
     warm_mutant_cache,
 )
 from repro.harness.experiment import WebServerExperiment, profile_servers
+from repro.harness.jsonl import read_jsonl
 from repro.harness.results import BenchmarkResult, InjectionIteration
 from repro.harness.sequential import (
     SequentialController,
@@ -64,6 +65,7 @@ from repro.harness.supervisor import (
     DEFAULT_MAX_POOL_REBUILDS,
     DEFAULT_MAX_RETRIES,
     ShardSupervisor,
+    SupervisionInterrupted,
     SupervisionReport,
 )
 from repro.harness.telemetry import (
@@ -78,6 +80,7 @@ from repro.sim.rng import derive_seed
 from repro.specweb.metrics import MetricsPartial, SpecWebMetrics
 
 __all__ = [
+    "CampaignInterrupted",
     "CampaignJournal",
     "CampaignShard",
     "ParallelCampaign",
@@ -88,6 +91,26 @@ __all__ = [
     "plan_shards",
     "run_shard",
 ]
+
+
+class CampaignInterrupted(RuntimeError):
+    """A campaign stopped early at a shard boundary (drain or budget).
+
+    Every unit completed before the stop is in the journal, so a later
+    run with ``resume=True`` replays them and finishes the campaign with
+    a ``metrics_digest`` identical to an uninterrupted run — this is the
+    contract the service daemon's graceful drain and wall-clock budget
+    are built on.
+    """
+
+    def __init__(self, campaign_key, completed, remaining):
+        super().__init__(
+            f"campaign interrupted: {completed} shard(s) journaled, "
+            f"{remaining} not run"
+        )
+        self.campaign_key = campaign_key
+        self.completed = completed
+        self.remaining = remaining
 
 # v6: sequential campaigns append ``batch`` records — the per-stratum
 # stopping decisions — alongside the shard outcomes they were derived
@@ -416,22 +439,10 @@ class CampaignJournal:
     @classmethod
     def load(cls, path):
         journal = cls(path)
-        if not journal.path.exists():
-            return journal
-        with open(journal.path, "r", encoding="utf-8") as handle:
-            lines = [
-                line.strip() for line in handle if line.strip()
-            ]
-        for position, line in enumerate(lines):
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                if position == len(lines) - 1:
-                    # A process killed mid-append leaves a torn final
-                    # line; that unit simply reruns on resume.  A torn
-                    # line anywhere else means real corruption.
-                    break
-                raise
+        # The shared torn-tail reader (also behind the telemetry reader
+        # and the service's spec queue): a torn final line reruns its
+        # unit, a torn interior line means real corruption and raises.
+        for lineno, entry in read_jsonl(journal.path):
             kind = entry.get("kind")
             if kind == "header":
                 journal.header = entry
@@ -461,7 +472,7 @@ class CampaignJournal:
                     # fragment written by a skewed worker): rerun that
                     # unit instead of dying on it.
                     warnings.warn(
-                        f"journal {journal.path} line {position + 1}: "
+                        f"journal {journal.path} line {lineno}: "
                         f"unreadable shard record ({exc!r}); that unit "
                         "will rerun",
                         RuntimeWarning, stacklevel=2,
@@ -599,7 +610,7 @@ class ParallelCampaign:
                  max_pool_rebuilds=DEFAULT_MAX_POOL_REBUILDS,
                  telemetry_path=None, manifest_path=None,
                  backend="pool", fabric_listen=None,
-                 fabric_loopback=None):
+                 fabric_loopback=None, stop_event=None):
         if backend not in ("pool", "fabric"):
             raise ValueError(
                 f"unknown backend {backend!r}: expected 'pool' or "
@@ -635,6 +646,10 @@ class ParallelCampaign:
         self.shard_timeout = shard_timeout
         self.max_retries = max_retries
         self.max_pool_rebuilds = max_pool_rebuilds
+        # Cooperative interruption: when this threading.Event is set the
+        # campaign finishes the in-flight shard round, journals it, and
+        # raises CampaignInterrupted instead of completing.
+        self.stop_event = stop_event
         if journal_path is not None:
             journal = Path(journal_path)
             if telemetry_path is None:
@@ -967,6 +982,7 @@ class ParallelCampaign:
             max_pool_rebuilds=self.max_pool_rebuilds,
             telemetry=telemetry,
             backend_factory=self._backend_factory(),
+            stop_event=self.stop_event,
         )
         fabric = None
         sequential_iterations = []
@@ -1009,6 +1025,24 @@ class ParallelCampaign:
                     ),
                 )
             fabric = supervisor.backend_stats()
+        except SupervisionInterrupted as interrupted:
+            # Drain or budget stop: everything completed is in the
+            # journal, so a later resume finishes with the digest of an
+            # uninterrupted run.  Leave a marker in the telemetry and
+            # surface the stop as CampaignInterrupted.
+            completed = len(journal.shards) if journal is not None else (
+                len(interrupted.report.outcomes)
+            )
+            telemetry.emit(
+                "campaign_interrupted",
+                campaign_key=key,
+                completed=completed,
+                remaining=interrupted.remaining,
+            )
+            telemetry.close()
+            raise CampaignInterrupted(
+                key, completed, interrupted.remaining
+            ) from interrupted
         finally:
             supervisor.close()
         if fabric is None:

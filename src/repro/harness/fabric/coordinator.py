@@ -210,6 +210,7 @@ class FabricCoordinator:
 
     def _handle_worker(self, conn):
         state = None
+        reason = "connection lost"
         try:
             conn.settimeout(5.0)
             hello = recv_frame(conn)
@@ -251,18 +252,33 @@ class FabricCoordinator:
                 "info", event="fabric_worker_register",
                 fields={"worker": name, "pid": state.pid},
             ))
-            self._serve(state)
-        except (OSError, FrameError):
+            reconnects = hello.get("reconnects") or 0
+            if reconnects:
+                # The worker redialled after losing us: surface the
+                # recovery on the supervision stream (the roster entry
+                # was already swapped in above).
+                self._events.put(ShardEvent(
+                    "info", event="worker_reconnected",
+                    fields={"worker": name, "reconnects": reconnects},
+                ))
+            reason = self._serve(state)
+        except FrameError as exc:
+            # A torn, oversized, or undecodable frame is a protocol
+            # error, not a coordinator bug: drop the connection and let
+            # the reap below requeue whatever the worker was carrying.
+            reason = f"protocol error: {exc}"
+        except OSError:
             pass
         finally:
             if state is not None:
-                self._reap(state, reason="connection lost")
+                self._reap(state, reason=reason)
             try:
                 conn.close()
             except OSError:
                 pass
 
     def _serve(self, state):
+        """Serve one worker's message loop; returns the reap reason."""
         conn = state.conn
         # Wait for readability with a short poll (so the stop flag is
         # observed), then read the whole frame under a generous timeout
@@ -272,15 +288,25 @@ class FabricCoordinator:
             try:
                 ready, _, _ = select.select([conn], [], [], 0.2)
             except (OSError, ValueError):
-                return
+                return "connection lost"
             if not ready:
                 continue
             try:
                 message = recv_frame(conn)
-            except (OSError, FrameError):
-                return
+            except FrameError as exc:
+                # Torn frame, corrupt length prefix, invalid JSON: a
+                # clean protocol error.  The reap that follows requeues
+                # the worker's in-flight shard — the read loop itself
+                # must never die on bad bytes.
+                self._events.put(ShardEvent(
+                    "info", event="fabric_protocol_error",
+                    fields={"worker": state.name, "error": str(exc)},
+                ))
+                return f"protocol error: {exc}"
+            except OSError:
+                return "connection lost"
             if message is None:
-                return  # clean EOF
+                return "connection lost"  # clean EOF
             state.last_seen = time.monotonic()
             kind = message.get("type")
             if kind == "steal":
@@ -294,7 +320,8 @@ class FabricCoordinator:
                 self._on_error(state, message)
             elif kind == "goodbye":
                 state.clean_exit = True
-                return
+                return "clean exit"
+        return "connection lost"
 
     # ------------------------------------------------------------------
     # Message handlers (run on handler threads; events go via the queue)

@@ -80,9 +80,19 @@ def recv_frame(sock):
     if payload is None:
         raise FrameError("connection closed mid-frame")
     try:
-        return json.loads(payload.decode("utf-8"))
+        message = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise FrameError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        # Every message in the vocabulary is a flat object; a frame
+        # holding valid-but-wrong JSON (a list, a bare string) must be
+        # a clean protocol error the read loops already handle, not an
+        # AttributeError when the caller reaches for .get("type").
+        raise FrameError(
+            f"frame payload must be a JSON object, got "
+            f"{type(message).__name__}"
+        )
+    return message
 
 
 def parse_address(address):

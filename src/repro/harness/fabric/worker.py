@@ -17,6 +17,15 @@ identical to a serial run.
 ``chaos_kill_after_assignments`` is the CI fault injector for the
 fault injector: the worker SIGKILLs itself on receiving its Nth
 assignment, exercising the death/requeue path in a real campaign.
+
+**Reconnects**: a dropped socket (or an unreachable coordinator at
+start-up) used to kill the worker outright, which turns every
+coordinator blip into a fleet restart.  ``max_reconnects`` bounds a
+redial loop with exponential backoff + deterministic jitter
+(:class:`~repro.harness.backoff.BackoffPolicy`; tests pin the schedule
+through the ``_sleep`` hook).  A re-registration carries the attempt
+count, which the coordinator surfaces as a ``worker_reconnected``
+telemetry event; a clean ``shutdown``/``reject`` never redials.
 """
 
 import base64
@@ -26,6 +35,7 @@ import signal
 import socket
 import threading
 
+from repro.harness.backoff import BackoffPolicy
 from repro.harness.fabric.protocol import (
     PROTOCOL_VERSION,
     FrameError,
@@ -40,7 +50,8 @@ class FabricWorker:
     """One worker process's connection to a fabric coordinator."""
 
     def __init__(self, host, port, *, name=None, journal_version=None,
-                 chaos_kill_after_assignments=None):
+                 chaos_kill_after_assignments=None, max_reconnects=0,
+                 backoff=None):
         if journal_version is None:
             # The version this worker's checkout writes; imported lazily
             # so a skewed test double can override it.
@@ -51,6 +62,14 @@ class FabricWorker:
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
         self.journal_version = journal_version
         self.chaos_kill_after_assignments = chaos_kill_after_assignments
+        self.max_reconnects = int(max_reconnects)
+        # Seed the jitter per worker name so a redialling fleet spreads
+        # apart instead of thundering back in lockstep.
+        self.backoff = backoff or BackoffPolicy(
+            base=0.2, factor=2.0, max_delay=5.0, jitter=0.5,
+            seed=self.name,
+        )
+        self.reconnects = 0
         self._assignments = 0
         self._send_lock = threading.Lock()
 
@@ -59,10 +78,26 @@ class FabricWorker:
             send_frame(sock, message)
 
     def run(self):
-        """Serve until shutdown/rejection/connection loss.
+        """Serve until shutdown/rejection, or until the reconnect
+        budget is spent on a coordinator that keeps vanishing.
 
-        Returns the number of shards completed (0 also on rejection).
+        Returns the total number of shards completed across every
+        connection (0 also on rejection).
         """
+        completed = 0
+        while True:
+            try:
+                done, redial = self._session()
+            except (OSError, FrameError):
+                done, redial = 0, True
+            completed += done
+            if not redial or self.reconnects >= self.max_reconnects:
+                return completed
+            self.reconnects += 1
+            _sleep(self.backoff.delay(self.reconnects))
+
+    def _session(self):
+        """One connection's lifetime; returns (completed, redial?)."""
         completed = 0
         with socket.create_connection((self.host, self.port)) as conn:
             self._send(conn, {
@@ -72,26 +107,27 @@ class FabricWorker:
                 "host": socket.gethostname(),
                 "protocol": PROTOCOL_VERSION,
                 "journal_version": self.journal_version,
+                "reconnects": self.reconnects,
             })
             ack = recv_frame(conn)
             if not isinstance(ack, dict) or ack.get("type") != "registered":
-                return 0
+                return completed, False
             heartbeat_seconds = float(ack.get("heartbeat_seconds", 0.5))
             while True:
                 try:
                     self._send(conn, {"type": "steal"})
                     message = recv_frame(conn)
                 except (OSError, FrameError):
-                    return completed
+                    return completed, True
                 if message is None:
-                    return completed
+                    return completed, True
                 kind = message.get("type")
                 if kind == "shutdown":
                     try:
                         self._send(conn, {"type": "goodbye"})
                     except (OSError, FrameError):
                         pass
-                    return completed
+                    return completed, False
                 if kind == "wait":
                     _sleep(float(message.get("seconds", 0.05)))
                     continue

@@ -1,0 +1,314 @@
+"""The campaign daemon: a scheduler loop over the durable spec queue.
+
+One scheduler thread drains the queue in submission order, one campaign
+at a time (campaigns parallelize *internally* across workers; running
+two at once would just fight over the same cores and interleave their
+telemetry).  Each run is a fresh attempt against the campaign's own
+journal with ``resume=True``, so an attempt that dies — process crash,
+budget interrupt, drain — costs only the shard round in flight, never
+completed work.
+
+State machine per entry (every arrow fsync'd to the queue log):
+
+    queued ──start──▶ running ──success──▶ done
+      ▲                 │
+      │                 ├── drain / crash ──▶ queued   (resume later)
+      ├─ retry+backoff ─┤
+      │                 └── budget exceeded ─▶ failed
+      └─────────────────┴── attempts exhausted ▶ failed
+
+The wall-clock budget and the drain path share one mechanism: the
+per-campaign ``stop_event`` makes the supervisor finish its in-flight
+shard round and raise
+:class:`~repro.harness.campaign.CampaignInterrupted` — cooperative, so
+no worker is killed mid-slot and the journal stays consistent.
+"""
+
+import threading
+import time
+from pathlib import Path
+
+from repro.harness.backoff import BackoffPolicy
+from repro.harness.campaign import CampaignInterrupted
+from repro.harness.service.queue import SpecQueue
+from repro.harness.service.recovery import recover_queue
+from repro.harness.service.spec import namespace_from_spec
+from repro.harness.telemetry import TelemetryWriter
+
+__all__ = ["CampaignDaemon", "ReportPending", "ServiceDraining"]
+
+
+class ServiceDraining(RuntimeError):
+    """The daemon is draining and refuses new submissions."""
+
+
+class ReportPending(RuntimeError):
+    """The campaign exists but has not successfully completed yet."""
+
+    def __init__(self, entry_id, state):
+        super().__init__(
+            f"campaign {entry_id} is {state}; no report yet"
+        )
+        self.entry_id = entry_id
+        self.state = state
+
+
+class CampaignDaemon:
+    """Owns the queue, the scheduler thread, and the recovery pass.
+
+    ``runner`` is injectable for tests: a callable
+    ``runner(entry, stop_event) -> dict`` whose return value lands in
+    the entry's ``done`` record (the default runs a real
+    ParallelCampaign and returns its digest/key/export path).
+    """
+
+    def __init__(self, home, *, queue_capacity=16, campaign_budget=None,
+                 retry_after=5.0, max_attempts=3, backoff=None,
+                 runner=None, poll_seconds=0.05, clock=time.monotonic):
+        self.home = Path(home)
+        self.home.mkdir(parents=True, exist_ok=True)
+        self.queue = SpecQueue(
+            self.home / "queue.jsonl", capacity=queue_capacity
+        )
+        self.telemetry = TelemetryWriter(
+            self.home / "service.telemetry.jsonl"
+        )
+        self.campaign_budget = campaign_budget
+        self.retry_after = float(retry_after)
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff = backoff or BackoffPolicy(
+            base=0.5, factor=2.0, max_delay=60.0, jitter=0.5,
+            seed="reprod",
+        )
+        self.poll_seconds = poll_seconds
+        self.clock = clock
+        self._runner = runner or self._run_campaign
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._thread = None
+        self._active_stop = None
+        self._retry_not_before = {}
+        # Restart recovery happens before any work is accepted, and its
+        # requeue records are durable before start() can run anything.
+        self.recovery = recover_queue(self.queue, self.telemetry)
+
+    # ------------------------------------------------------------------
+    # Front-end surface (called from HTTP handler threads)
+    # ------------------------------------------------------------------
+    @property
+    def draining(self):
+        return self._draining.is_set()
+
+    def submit(self, spec):
+        """Validate + durably enqueue a spec; returns the entry.
+
+        Raises SpecError (bad spec), QueueFull (shed), or
+        ServiceDraining (shutting down).
+        """
+        if self.draining:
+            raise ServiceDraining("service is draining")
+        namespace_from_spec(spec)
+        entry = self.queue.submit(spec, retry_after=self.retry_after)
+        self.telemetry.emit("campaign_submitted", id=entry.id)
+        return entry
+
+    def status(self, entry_id):
+        """The entry's current state dict, or None for an unknown id."""
+        entry = self.queue.get(entry_id)
+        return None if entry is None else entry.to_dict()
+
+    def campaign_dir(self, entry_id):
+        return self.home / "campaigns" / entry_id
+
+    def telemetry_file(self, entry_id):
+        """The campaign's own telemetry stream (None until it exists)."""
+        if self.queue.get(entry_id) is None:
+            return None
+        path = self.campaign_dir(entry_id) / "journal.telemetry.jsonl"
+        return path if path.exists() else None
+
+    def report(self, entry_id):
+        """The finished campaign's combined report document.
+
+        Raises KeyError (unknown id) or ReportPending (not done yet).
+        """
+        from repro.reporting.export import load_campaign_report
+
+        entry = self.queue.get(entry_id)
+        if entry is None:
+            raise KeyError(entry_id)
+        if entry.state != "done":
+            raise ReportPending(entry_id, entry.state)
+        return load_campaign_report(self.campaign_dir(entry_id) / "export")
+
+    def healthz(self):
+        return {
+            "status": "draining" if self.draining else "ok",
+            "capacity": self.queue.capacity,
+            "queue": self.queue.state_counts(),
+            "recovery": self.recovery,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        self._thread = threading.Thread(
+            target=self._loop, name="reprod-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def drain(self):
+        """Stop admissions; interrupt the active campaign at its next
+        shard-round boundary; let the scheduler exit."""
+        if not self._draining.is_set():
+            self._draining.set()
+            self.telemetry.emit("service_drain")
+        active = self._active_stop
+        if active is not None:
+            active.set()
+        if self._thread is None:
+            self._drained.set()
+
+    def wait_drained(self, timeout=None):
+        return self._drained.wait(timeout)
+
+    def close(self):
+        self.queue.close()
+        self.telemetry.close()
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _loop(self):
+        try:
+            while not self._draining.is_set():
+                entry = self._next_ready()
+                if entry is None:
+                    _sleep(self.poll_seconds)
+                    continue
+                self._run_entry(entry)
+        finally:
+            self._drained.set()
+
+    def _next_ready(self):
+        now = self.clock()
+        for entry in self.queue.in_order():
+            if entry.state != "queued":
+                continue
+            not_before = self._retry_not_before.get(entry.id)
+            if not_before is not None and now < not_before:
+                continue
+            return entry
+        return None
+
+    def _run_entry(self, entry):
+        attempt = entry.detail.get("attempts", 0) + 1
+        self.queue.mark(entry.id, "running", attempts=attempt)
+        self.telemetry.emit(
+            "campaign_started", id=entry.id, attempt=attempt
+        )
+        stop_event = threading.Event()
+        self._active_stop = stop_event
+        if self._draining.is_set():
+            # drain() may have raced the assignment above; never start
+            # an attempt that should already be stopping.
+            stop_event.set()
+        budget_hit = threading.Event()
+        timer = None
+        if self.campaign_budget is not None:
+            def _expire():
+                budget_hit.set()
+                stop_event.set()
+            timer = threading.Timer(self.campaign_budget, _expire)
+            timer.daemon = True
+            timer.start()
+        try:
+            outcome = self._runner(entry, stop_event)
+        except CampaignInterrupted as interrupted:
+            if budget_hit.is_set() and not self._draining.is_set():
+                self.queue.mark(
+                    entry.id, "failed", error="budget_exceeded",
+                    completed_shards=interrupted.completed,
+                    remaining_shards=interrupted.remaining,
+                )
+                self.telemetry.emit(
+                    "campaign_failed", id=entry.id,
+                    reason="budget_exceeded",
+                )
+            else:
+                # Drain: completed rounds are journaled; the entry goes
+                # back to queued so the next start resumes it.
+                self.queue.mark(entry.id, "queued", interrupted=True)
+                self.telemetry.emit(
+                    "campaign_interrupted", id=entry.id,
+                    completed=interrupted.completed,
+                    remaining=interrupted.remaining,
+                )
+        except Exception as exc:  # noqa: BLE001 — the daemon must survive
+            if attempt >= self.max_attempts:
+                self.queue.mark(entry.id, "failed", error=repr(exc))
+                self.telemetry.emit(
+                    "campaign_failed", id=entry.id, reason=repr(exc),
+                    attempts=attempt,
+                )
+            else:
+                delay = self.backoff.delay(attempt)
+                self._retry_not_before[entry.id] = self.clock() + delay
+                self.queue.mark(entry.id, "queued", error=repr(exc))
+                self.telemetry.emit(
+                    "campaign_retry", id=entry.id, attempt=attempt,
+                    delay=round(delay, 6), error=repr(exc),
+                )
+        else:
+            self.queue.mark(entry.id, "done", **outcome)
+            self.telemetry.emit(
+                "campaign_done", id=entry.id,
+                metrics_digest=outcome.get("metrics_digest"),
+            )
+        finally:
+            if timer is not None:
+                timer.cancel()
+            self._active_stop = None
+
+    # ------------------------------------------------------------------
+    # The default runner: a real campaign, built the CLI's way
+    # ------------------------------------------------------------------
+    def _run_campaign(self, entry, stop_event):
+        from repro.cli import _campaign_config, _campaign_kwargs
+        from repro.harness.campaign import ParallelCampaign
+        from repro.reporting.export import export_campaign
+
+        args = namespace_from_spec(entry.spec)
+        config = _campaign_config(args)
+        kwargs = _campaign_kwargs(args)
+        home = self.campaign_dir(entry.id)
+        # The daemon owns the paths: per-campaign journal (always
+        # resumed — the crash-safety contract), shared scan/mutant
+        # cache, telemetry + manifest as journal siblings.
+        kwargs["journal_path"] = str(home / "journal.jsonl")
+        kwargs["resume"] = True
+        kwargs["cache_dir"] = str(self.home / "cache")
+        campaign = ParallelCampaign(
+            config, stop_event=stop_event, **kwargs
+        )
+        result = campaign.run(
+            include_baseline=not args.no_baseline,
+            include_profile_mode=not args.no_profile,
+        )
+        export_dir = home / "export"
+        export_campaign(
+            result, export_dir, config=config,
+            manifest=campaign.manifest,
+            telemetry_path=campaign.telemetry_path,
+        )
+        return {
+            "metrics_digest": campaign.manifest.metrics_digest,
+            "campaign_key": campaign.manifest.campaign_key,
+            "export": str(export_dir),
+        }
+
+
+def _sleep(seconds):
+    # time.sleep via an Event so tests can monkeypatch trivially.
+    threading.Event().wait(seconds)

@@ -1,0 +1,161 @@
+"""The stdlib HTTP front end for the campaign daemon.
+
+Deliberately small: a :class:`ThreadingHTTPServer` whose handler
+translates six routes onto :class:`~.daemon.CampaignDaemon` methods and
+maps the daemon's exceptions onto status codes.  JSON in, JSON out
+(telemetry streams as ``application/x-ndjson``), no framework, no new
+dependencies.
+
+    POST /submit          202 accepted {"id": ...} | 400 bad spec
+                          | 429 shed (Retry-After) | 503 draining
+    GET  /healthz         200 {"status", "capacity", "queue", ...}
+    GET  /status/<id>     200 entry state | 404
+    GET  /telemetry/<id>  200 the campaign's JSONL event stream | 404
+    GET  /report/<id>     200 combined report | 404 | 409 not done yet
+    POST /drain           202 {"status": "draining"}
+
+The 429 carries ``Retry-After`` — the admission-control contract: a
+shed submission is *retryable*, and well-behaved clients back off by
+the hint instead of hammering.
+"""
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.harness.service.daemon import ReportPending, ServiceDraining
+from repro.harness.service.queue import QueueFull
+from repro.harness.service.spec import SpecError
+
+__all__ = ["ServiceHandler", "make_server"]
+
+MAX_SPEC_BYTES = 1 << 20  # a campaign spec is a handful of flags
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes onto the daemon bound as the ``service`` class attribute."""
+
+    service = None
+    protocol_version = "HTTP/1.1"
+
+    # The daemon's telemetry is the log; request chatter on stderr is
+    # noise for a long-lived service.
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass
+
+    def _send_json(self, status, payload, headers=()):
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        body = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_file(self, path, content_type):
+        body = path.read_bytes()
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_SPEC_BYTES:
+            return None
+        return self.rfile.read(length)
+
+    # ------------------------------------------------------------------
+    def do_GET(self):
+        parts = [part for part in self.path.split("/") if part]
+        if parts == ["healthz"]:
+            self._send_json(200, self.service.healthz())
+            return
+        if len(parts) == 2 and parts[0] == "status":
+            status = self.service.status(parts[1])
+            if status is None:
+                self._send_json(
+                    404, {"error": f"unknown campaign {parts[1]!r}"}
+                )
+            else:
+                self._send_json(200, status)
+            return
+        if len(parts) == 2 and parts[0] == "telemetry":
+            path = self.service.telemetry_file(parts[1])
+            if path is None:
+                self._send_json(
+                    404,
+                    {"error": f"no telemetry for campaign "
+                              f"{parts[1]!r}"},
+                )
+            else:
+                self._send_file(path, "application/x-ndjson")
+            return
+        if len(parts) == 2 and parts[0] == "report":
+            try:
+                report = self.service.report(parts[1])
+            except KeyError:
+                self._send_json(
+                    404, {"error": f"unknown campaign {parts[1]!r}"}
+                )
+            except ReportPending as pending:
+                self._send_json(
+                    409, {"error": str(pending), "state": pending.state}
+                )
+            else:
+                self._send_json(200, report)
+            return
+        self._send_json(404, {"error": f"no route for {self.path!r}"})
+
+    def do_POST(self):
+        parts = [part for part in self.path.split("/") if part]
+        if parts == ["drain"]:
+            self.service.drain()
+            self._send_json(202, {"status": "draining"})
+            return
+        if parts != ["submit"]:
+            self._send_json(
+                404, {"error": f"no route for {self.path!r}"}
+            )
+            return
+        body = self._read_body()
+        if body is None:
+            self._send_json(413, {"error": "spec too large"})
+            return
+        try:
+            spec = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_json(
+                400, {"error": f"body is not valid JSON: {exc}"}
+            )
+            return
+        try:
+            entry = self.service.submit(spec)
+        except SpecError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except QueueFull as exc:
+            self._send_json(
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers=[("Retry-After", f"{exc.retry_after:g}")],
+            )
+        except ServiceDraining as exc:
+            self._send_json(503, {"error": str(exc)})
+        else:
+            self._send_json(
+                202, {"id": entry.id, "state": entry.state}
+            )
+
+
+def make_server(service, host="127.0.0.1", port=0):
+    """Bind a ThreadingHTTPServer serving ``service`` on host:port.
+
+    The handler is a per-server subclass so two daemons in one process
+    (tests do this) never share routing state.
+    """
+    handler = type(
+        "BoundServiceHandler", (ServiceHandler,), {"service": service}
+    )
+    return ThreadingHTTPServer((host, port), handler)

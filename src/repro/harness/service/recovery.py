@@ -1,0 +1,42 @@
+"""Restart recovery: make a daemon crash invisible to results.
+
+Replaying the spec queue rebuilds everything the dead process knew; the
+only judgement call is what to do with entries recorded ``running`` —
+campaigns that were in flight at the instant of death, at any of three
+lifecycle stages:
+
+* **spec accepted** — no journal exists yet; the rerun starts from
+  slot zero.  Nothing was lost because nothing had run.
+* **shard in flight** — the per-campaign journal holds every shard
+  round that completed before the kill (each fsync'd before
+  acknowledgement); the rerun opens it with ``resume=True`` and replays
+  completed units instead of re-executing them.  No slot runs twice —
+  the journal is the exactly-once ledger, the queue only says *whether*
+  to run.
+* **report pending** — every unit is journaled but the terminal
+  ``done`` record never landed; the rerun replays the whole journal
+  (fast — no slots execute), re-derives the identical
+  ``metrics_digest``, re-exports, and marks done.
+
+In every stage the correct action is the same: durably flip the entry
+back to ``queued`` and let the scheduler take it from the top.  The
+flip is written to the queue log *before* the daemon accepts work, so
+a second crash during recovery changes nothing.
+"""
+
+__all__ = ["recover_queue"]
+
+
+def recover_queue(queue, telemetry=None):
+    """Requeue in-flight entries after a restart; returns a summary."""
+    requeued = []
+    for entry in queue.in_order():
+        if entry.state == "running":
+            queue.mark(entry.id, "queued", recovered=True)
+            requeued.append(entry.id)
+            if telemetry is not None:
+                telemetry.emit("campaign_recovered", id=entry.id)
+    summary = {"entries": len(queue), "requeued": requeued}
+    if telemetry is not None and requeued:
+        telemetry.emit("service_recovery", **summary)
+    return summary

@@ -1,0 +1,132 @@
+"""Campaign specs: the service's submission format.
+
+A spec is a flat JSON object whose keys are the ``campaign``
+subcommand's flags — ``{"server": "apache", "faults": 24, "workers": 2,
+"no-baseline": true}`` — hyphens and underscores interchangeable.
+Rather than maintaining a parallel schema that would drift from the
+CLI, the spec is *rendered back into an argv* and pushed through the
+real parser: every type coercion, ``choices`` check, and the rc-2
+flag-combination rules (``_validate_campaign_args``) apply verbatim,
+so a spec is valid exactly when the equivalent command line is.  A
+rejected spec raises :class:`SpecError` (the daemon's 400), never a
+traceback.
+
+Keys the service itself manages — journal, resume, telemetry,
+manifest, export, cache-dir — are refused: the daemon owns the
+campaign's paths and always resumes, because that is what makes the
+recovery guarantee hold.
+"""
+
+import contextlib
+import io
+
+__all__ = ["MANAGED_KEYS", "SpecError", "namespace_from_spec"]
+
+#: Flags a spec may not set because the daemon controls them.
+MANAGED_KEYS = frozenset({
+    "cache_dir",
+    "export",
+    "journal",
+    "manifest",
+    "resume",
+    "telemetry",
+})
+
+
+class SpecError(ValueError):
+    """A campaign spec failed validation; str(exc) is user-facing."""
+
+
+def _campaign_flag_table():
+    """Map spec keys → (flag string, takes_value) for ``campaign``.
+
+    Derived from the live parser so new campaign flags become valid
+    spec keys automatically.  Each option registers under both its
+    ``dest`` (``os_codename``) and its flag spelling (``os``), so specs
+    can use either.
+    """
+    import argparse
+
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    campaign = None
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            campaign = action.choices["campaign"]
+            break
+    table = {}
+    for action in campaign._actions:
+        if not action.option_strings or action.dest == "help":
+            continue
+        flag = action.option_strings[-1]
+        takes_value = action.nargs != 0
+        entry = (flag, takes_value)
+        table[action.dest] = entry
+        table[flag.lstrip("-").replace("-", "_")] = entry
+    return table
+
+
+def _spec_argv(spec):
+    """Render a spec dict into the equivalent ``campaign`` argv."""
+    table = _campaign_flag_table()
+    argv = ["campaign"]
+    for raw_key in sorted(spec):
+        key = str(raw_key).replace("-", "_")
+        if key in MANAGED_KEYS:
+            raise SpecError(
+                f"spec key {raw_key!r} is managed by the service "
+                "(the daemon owns journals, telemetry, and exports)"
+            )
+        if key not in table:
+            raise SpecError(f"unknown spec key {raw_key!r}")
+        flag, takes_value = table[key]
+        value = spec[raw_key]
+        if not takes_value:
+            if not isinstance(value, bool):
+                raise SpecError(
+                    f"spec key {raw_key!r} is a flag and must be a "
+                    f"boolean, got {value!r}"
+                )
+            if value:
+                argv.append(flag)
+        else:
+            if value is None:
+                continue
+            if isinstance(value, bool):
+                raise SpecError(
+                    f"spec key {raw_key!r} expects a value, got a "
+                    "boolean"
+                )
+            argv.extend([flag, str(value)])
+    return argv
+
+
+def namespace_from_spec(spec):
+    """Validate a spec; returns the parsed ``campaign`` namespace.
+
+    Raises :class:`SpecError` with the parser's (or the rc-2 flag
+    rules') own message on any problem.
+    """
+    from repro.cli import _validate_campaign_args, build_parser
+
+    if not isinstance(spec, dict):
+        raise SpecError(
+            f"spec must be a JSON object, got {type(spec).__name__}"
+        )
+    argv = _spec_argv(spec)
+    stderr = io.StringIO()
+    try:
+        with contextlib.redirect_stderr(stderr):
+            args = build_parser().parse_args(argv)
+    except SystemExit:
+        lines = [line for line in stderr.getvalue().splitlines()
+                 if line.strip()]
+        raise SpecError(lines[-1] if lines else "invalid spec") from None
+    # Mirror main(): --faults 0 means the full faultload.
+    if getattr(args, "faults", None) == 0:
+        args.faults = None
+    error = _validate_campaign_args(args)
+    if error is not None:
+        raise SpecError(error)
+    return args

@@ -57,11 +57,34 @@ from repro.harness.telemetry import NullTelemetry
 __all__ = [
     "QuarantinedShard",
     "ShardSupervisor",
+    "SupervisionInterrupted",
     "SupervisionReport",
 ]
 
 DEFAULT_MAX_RETRIES = 2
 DEFAULT_MAX_POOL_REBUILDS = 3
+
+
+class SupervisionInterrupted(RuntimeError):
+    """A supervised pass stopped early at a shard boundary.
+
+    Raised when the supervisor's ``stop_event`` is set: dispatching
+    stops immediately, every in-flight shard is allowed to finish (and
+    is reported through ``on_outcome``, so the campaign journal has it),
+    and then this is raised instead of returning a report.  ``report``
+    carries everything that completed before the stop; ``remaining`` is
+    the number of shards that never ran.  This is what lets the service
+    daemon drain gracefully — finish the active shard round, persist
+    state, refuse new work — and enforce per-campaign wall-clock
+    budgets without killing workers mid-slot.
+    """
+
+    def __init__(self, report, remaining):
+        super().__init__(
+            f"supervision interrupted with {remaining} shard(s) not run"
+        )
+        self.report = report
+        self.remaining = remaining
 
 
 @dataclass(frozen=True)
@@ -128,7 +151,7 @@ class ShardSupervisor:
                  max_retries=DEFAULT_MAX_RETRIES,
                  max_pool_rebuilds=DEFAULT_MAX_POOL_REBUILDS,
                  poll_seconds=0.05, telemetry=None,
-                 backend_factory=None):
+                 backend_factory=None, stop_event=None):
         if shard_timeout is not None and shard_timeout <= 0:
             raise ValueError("shard_timeout must be positive (or None)")
         if max_retries < 0:
@@ -139,6 +162,10 @@ class ShardSupervisor:
         self.max_pool_rebuilds = max_pool_rebuilds
         self.poll_seconds = poll_seconds
         self.telemetry = telemetry if telemetry is not None else NullTelemetry()
+        # Cooperative interruption (graceful drain / wall-clock budget):
+        # when set, no new shard is dispatched, in-flight shards finish
+        # and are journaled, then run() raises SupervisionInterrupted.
+        self.stop_event = stop_event
         self._backend_factory = backend_factory
         self._backend = None
         self._last_stats = None
@@ -193,7 +220,9 @@ class ShardSupervisor:
         Returns a :class:`SupervisionReport`; completed outcomes are in
         ``report.outcomes`` keyed by shard index, and ``on_outcome`` (if
         given) is called in the parent as each one lands — the campaign
-        journals through it.
+        journals through it.  The only exception a caller sees is
+        :class:`SupervisionInterrupted`, raised after the in-flight
+        round finishes when ``stop_event`` is set.
         """
         report = SupervisionReport()
         shards = list(shards)
@@ -210,6 +239,16 @@ class ShardSupervisor:
     # ------------------------------------------------------------------
     # Backend mode
     # ------------------------------------------------------------------
+    def _stopped(self):
+        return self.stop_event is not None and self.stop_event.is_set()
+
+    def _interrupt(self, report, remaining):
+        self.telemetry.emit(
+            "supervision_interrupted", remaining=remaining,
+            completed=len(report.outcomes),
+        )
+        raise SupervisionInterrupted(report, remaining)
+
     def _run_backend(self, shards, task, report, on_outcome):
         backend = self._ensure_backend()
         pending = deque(_Attempt(shard) for shard in shards)
@@ -217,6 +256,15 @@ class ShardSupervisor:
         inflight = {}
         queues = (pending, probation, inflight)
         while pending or probation or inflight:
+            if self._stopped():
+                # Graceful stop: dispatch nothing new, let the in-flight
+                # round finish (journaled via on_outcome), then raise.
+                if not inflight:
+                    self._interrupt(report,
+                                    len(pending) + len(probation))
+                events = backend.drain(self.poll_seconds)
+                self._apply_events(events, queues, report, on_outcome)
+                continue
             if (report.pool_rebuilds > self.max_pool_rebuilds
                     and not inflight):
                 # The backend keeps dying under us: stop trusting it and
@@ -301,6 +349,8 @@ class ShardSupervisor:
     # ------------------------------------------------------------------
     def _run_serial(self, queue, task, report, on_outcome):
         while queue:
+            if self._stopped():
+                self._interrupt(report, len(queue))
             attempt = queue.popleft()
             started = time.monotonic()
             try:

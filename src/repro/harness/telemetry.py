@@ -33,6 +33,8 @@ import json
 import time
 from pathlib import Path
 
+from repro.harness.jsonl import read_jsonl
+
 __all__ = [
     "MANIFEST_VERSION",
     "NullTelemetry",
@@ -122,17 +124,7 @@ class TelemetryWriter:
 
 def read_telemetry(path):
     """Parse a telemetry JSONL file, dropping a torn final line."""
-    events = []
-    lines = Path(path).read_text(encoding="utf-8").splitlines()
-    stripped = [line.strip() for line in lines if line.strip()]
-    for position, line in enumerate(stripped):
-        try:
-            events.append(json.loads(line))
-        except json.JSONDecodeError:
-            if position == len(stripped) - 1:
-                break
-            raise
-    return events
+    return [entry for _lineno, entry in read_jsonl(path)]
 
 
 # ----------------------------------------------------------------------

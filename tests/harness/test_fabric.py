@@ -17,6 +17,7 @@ Three layers, in rising order of integration:
 
 import json
 import socket
+import struct
 import threading
 import time
 from dataclasses import dataclass
@@ -506,3 +507,195 @@ def test_fabric_telemetry_and_manifest_surface(tmp_path):
     roster = {worker["name"] for worker in manifest.fabric["roster"]}
     assert roster == {"loopback-0", "loopback-1"}
     assert manifest.manifest_version >= 5
+
+
+# ----------------------------------------------------------------------
+# Worker reconnect
+# ----------------------------------------------------------------------
+def test_worker_reconnect_backoff_is_bounded_and_deterministic(
+        monkeypatch):
+    """An unreachable coordinator costs exactly max_reconnects redials,
+    each preceded by the policy's deterministic backoff delay."""
+    import repro.harness.fabric.worker as worker_module
+    from repro.harness.backoff import BackoffPolicy
+
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()  # nothing listens here now
+
+    delays = []
+    monkeypatch.setattr(worker_module, "_sleep", delays.append)
+    policy = BackoffPolicy(base=0.1, factor=2.0, max_delay=1.0,
+                           jitter=0.5, seed="w0")
+    worker = FabricWorker(
+        "127.0.0.1", port, name="w0", max_reconnects=3,
+        backoff=policy, journal_version=JOURNAL_VERSION,
+    )
+    assert worker.run() == 0
+    assert worker.reconnects == 3
+    assert delays == [policy.delay(1), policy.delay(2), policy.delay(3)]
+
+
+def test_worker_default_dies_on_first_loss(monkeypatch):
+    import repro.harness.fabric.worker as worker_module
+
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+
+    delays = []
+    monkeypatch.setattr(worker_module, "_sleep", delays.append)
+    worker = FabricWorker("127.0.0.1", port,
+                          journal_version=JOURNAL_VERSION)
+    assert worker.run() == 0
+    assert worker.reconnects == 0
+    assert delays == []
+
+
+def test_worker_redials_after_drop_and_reregisters(monkeypatch):
+    """A dropped connection redials and re-registers with the attempt
+    count; a clean shutdown never redials."""
+    import repro.harness.fabric.worker as worker_module
+
+    monkeypatch.setattr(worker_module, "_sleep", lambda seconds: None)
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(2)
+    registers = []
+
+    def scripted_coordinator():
+        # session 1: accept, ack, then drop mid-conversation
+        conn, _ = listener.accept()
+        registers.append(recv_frame(conn))
+        send_frame(conn, {"type": "registered",
+                          "heartbeat_seconds": 0.5})
+        recv_frame(conn)  # the worker's first steal
+        conn.close()      # no shutdown, no goodbye — a real drop
+        # session 2: the redial — ack, then dismiss cleanly
+        conn, _ = listener.accept()
+        registers.append(recv_frame(conn))
+        send_frame(conn, {"type": "registered",
+                          "heartbeat_seconds": 0.5})
+        recv_frame(conn)  # steal
+        send_frame(conn, {"type": "shutdown"})
+        recv_frame(conn)  # goodbye
+        conn.close()
+
+    thread = threading.Thread(target=scripted_coordinator, daemon=True)
+    thread.start()
+    host, port = listener.getsockname()
+    worker = FabricWorker(host, port, name="redial", max_reconnects=5,
+                          journal_version=JOURNAL_VERSION)
+    try:
+        assert worker.run() == 0
+        thread.join(5)
+        assert worker.reconnects == 1  # shutdown ended it, not budget
+        assert registers[0]["reconnects"] == 0
+        assert registers[1]["reconnects"] == 1
+    finally:
+        listener.close()
+
+
+def test_coordinator_emits_worker_reconnected_event():
+    coordinator = FabricCoordinator(journal_version=JOURNAL_VERSION)
+    conn = None
+    try:
+        conn = socket.create_connection(coordinator.address)
+        send_frame(conn, {
+            "type": "register", "name": "phoenix", "pid": 1,
+            "host": "test", "protocol": PROTOCOL_VERSION,
+            "journal_version": JOURNAL_VERSION, "reconnects": 2,
+        })
+        assert recv_frame(conn)["type"] == "registered"
+        events = _drain_until(
+            coordinator,
+            lambda es: any(e.kind == "info"
+                           and e.event == "worker_reconnected"
+                           for e in es),
+        )
+        event = next(e for e in events
+                     if e.event == "worker_reconnected")
+        assert event.fields["worker"] == "phoenix"
+        assert event.fields["reconnects"] == 2
+    finally:
+        if conn is not None:
+            conn.close()
+        coordinator.stop()
+
+
+# ----------------------------------------------------------------------
+# Protocol hardening: corrupt frames are errors, not crashes
+# ----------------------------------------------------------------------
+def test_recv_frame_rejects_non_object_payload():
+    left, right = socket.socketpair()
+    try:
+        send_frame(left, [1, 2, 3])  # valid JSON, wrong shape
+        with pytest.raises(FrameError, match="JSON object"):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def _send_torn_frame(conn):
+    conn.sendall(struct.pack(">I", 64) + b'{"torn')
+    conn.close()
+
+
+def _send_oversized_length(conn):
+    conn.sendall(struct.pack(">I", 2**31))
+
+
+def _send_invalid_json(conn):
+    conn.sendall(struct.pack(">I", 7) + b"notjson")
+
+
+def _send_non_object(conn):
+    send_frame(conn, ["not", "an", "object"])
+
+
+@pytest.mark.parametrize("corrupt", [
+    _send_torn_frame,
+    _send_oversized_length,
+    _send_invalid_json,
+    _send_non_object,
+], ids=["torn-frame", "oversized-length", "invalid-json", "non-object"])
+def test_coordinator_requeues_shard_on_protocol_error(corrupt):
+    """Garbage on the wire from a worker holding a shard must become a
+    clean protocol error that charges + reclaims the shard — never an
+    unhandled exception in the coordinator's read loop."""
+    coordinator = FabricCoordinator(journal_version=JOURNAL_VERSION)
+    conn = None
+    try:
+        coordinator.submit(9, _shard(9), _ok_task)
+        conn, assignment = _raw_register_and_steal(
+            coordinator, name="vandal"
+        )
+        assert assignment["ticket"] == 9
+        corrupt(conn)
+        events = _drain_until(
+            coordinator,
+            lambda es: any(e.kind == "failed" for e in es),
+        )
+        failed = [e for e in events if e.kind == "failed"][0]
+        assert failed.ticket == 9
+        assert "protocol error" in failed.reason
+        # the coordinator survived: resubmit the reclaimed shard and a
+        # healthy worker completes it on the same coordinator
+        coordinator.submit(9, _shard(9), _ok_task)
+        _worker_thread(coordinator, name="healthy",
+                       journal_version=JOURNAL_VERSION)
+        events = _drain_until(
+            coordinator,
+            lambda es: any(e.kind == "done" for e in es),
+        )
+        assert any(e.kind == "done" and e.ticket == 9 for e in events)
+    finally:
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        coordinator.stop()

@@ -1,0 +1,88 @@
+"""Tier-1 tests for the shared JSONL torn-tail reader and the backoff
+policy — the two small robustness primitives under the campaign
+journal, the telemetry reader, the service spec queue, and every
+reconnect/retry loop.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.backoff import BackoffPolicy
+from repro.harness.jsonl import read_jsonl
+
+
+# ----------------------------------------------------------------------
+# read_jsonl: the one torn-tail policy everything shares
+# ----------------------------------------------------------------------
+def test_read_jsonl_parses_with_line_numbers(tmp_path):
+    path = tmp_path / "log.jsonl"
+    path.write_text('{"a": 1}\n\n{"b": 2}\n')
+    assert read_jsonl(path) == [(1, {"a": 1}), (2, {"b": 2})]
+
+
+def test_read_jsonl_missing_file_is_empty(tmp_path):
+    assert read_jsonl(tmp_path / "absent.jsonl") == []
+
+
+def test_read_jsonl_drops_torn_final_line(tmp_path):
+    path = tmp_path / "log.jsonl"
+    path.write_text('{"a": 1}\n{"b": 2}\n{"c": ')
+    assert read_jsonl(path) == [(1, {"a": 1}), (2, {"b": 2})]
+
+
+def test_read_jsonl_torn_interior_line_raises(tmp_path):
+    # A torn line *followed by* valid records is not a crash artifact —
+    # it is corruption, and silently skipping it would drop data.
+    path = tmp_path / "log.jsonl"
+    path.write_text('{"a": 1}\n{"b": \n{"c": 3}\n')
+    with pytest.raises(json.JSONDecodeError):
+        read_jsonl(path)
+
+
+def test_campaign_journal_shares_torn_tail_policy(tmp_path):
+    """Regression for the shared reader: CampaignJournal.load must
+    tolerate a torn final line (rerunning that unit) exactly as the
+    service spec queue does."""
+    from repro.harness.campaign import JOURNAL_VERSION, CampaignJournal
+
+    path = tmp_path / "journal.jsonl"
+    journal = CampaignJournal(path)
+    journal.write_header("key", num_shards=2, iterations=1)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "shard", "iteration": 1, "sha')
+    loaded = CampaignJournal.load(path)
+    assert loaded.header["campaign_key"] == "key"
+    assert loaded.shards == {}  # torn record dropped → unit reruns
+
+
+# ----------------------------------------------------------------------
+# BackoffPolicy
+# ----------------------------------------------------------------------
+def test_backoff_grows_exponentially_and_caps():
+    policy = BackoffPolicy(base=1.0, factor=2.0, max_delay=5.0,
+                           jitter=0.0)
+    assert [policy.delay(n) for n in range(1, 6)] == \
+        [1.0, 2.0, 4.0, 5.0, 5.0]
+
+
+def test_backoff_jitter_is_deterministic_per_seed_and_attempt():
+    one = BackoffPolicy(base=1.0, jitter=0.5, seed="worker-a")
+    same = BackoffPolicy(base=1.0, jitter=0.5, seed="worker-a")
+    other = BackoffPolicy(base=1.0, jitter=0.5, seed="worker-b")
+    assert one.delay(3) == same.delay(3)  # reproducible schedules
+    assert one.delay(3) != other.delay(3)  # fleets spread apart
+    assert one.delay(2) != one.delay(3)
+    raw = min(one.max_delay, one.base * one.factor ** 2)
+    assert raw <= one.delay(3) < raw * 1.5  # within the jitter band
+
+
+def test_backoff_validates_parameters():
+    with pytest.raises(ValueError):
+        BackoffPolicy(base=0)
+    with pytest.raises(ValueError):
+        BackoffPolicy(factor=0.5)
+    with pytest.raises(ValueError):
+        BackoffPolicy(jitter=-0.1)
+    with pytest.raises(ValueError):
+        BackoffPolicy().delay(0)
