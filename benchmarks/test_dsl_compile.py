@@ -1,0 +1,191 @@
+"""Bench: the operator-spec DSL pays its way.
+
+Two claims about the declarative operator pipeline (DESIGN.md §16):
+
+* **Compilation is off the hot path** — validating and compiling the
+  whole re-expression corpus (eight specs) costs less than a single
+  whole-build reference scan, so a campaign that installs specs at
+  start-up pays a one-time fee that is invisible next to the scan it
+  feeds (and the scan itself is cached; the compile memo keys on the
+  spec digest).
+* **Compiled operators scan at class speed** — a whole scan (image
+  construction plus the single-pass site collection, the exact shape of
+  ``scan_build``) over every FIT function of both builds with the eight
+  DSL re-expressions substituted for their class twins keeps >= 95% of
+  the built-in throughput (< 5% scan slowdown).  The site sets are
+  asserted identical while we are at it; byte-level equivalence is
+  tier-1's job.
+
+Results are written to ``BENCH_dsl.json`` at the repo root.  Set
+``REPRO_BENCH_SMOKE=1`` (the CI bench-smoke job does) to shrink the
+workloads and relax the thresholds — smoke mode checks the machinery,
+not the numbers.
+"""
+
+import gc
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.gswfit.astutils import FunctionImage
+from repro.gswfit.dsl import OperatorSpec, compile_spec
+from repro.gswfit.dsl.builtin_specs import builtin_spec, builtin_spec_names
+from repro.gswfit.operators import (
+    collect_sites,
+    operator_for,
+    operator_library,
+)
+from repro.ossim.builds import NT50, NT51
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+RELATIVE_THROUGHPUT_FLOOR = 0.80 if SMOKE else 0.95
+COMPILE_ROUNDS = 3 if SMOKE else 10
+SCAN_ROUNDS = 2 if SMOKE else 7
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_dsl.json"
+RESULTS = {}
+
+
+def _fit_functions(build):
+    for _display_name, module in build.modules:
+        names = list(module.__exports__)
+        names.extend(getattr(module, "__internal__", []))
+        for name in names:
+            yield module, getattr(module, name)
+
+
+def _fresh_images():
+    # Fresh images per measurement keep the per-image lazy caches cold;
+    # image construction is identical for both operator sets.
+    return [
+        FunctionImage(function, module_name=module.__name__)
+        for build in (NT50, NT51)
+        for module, function in _fit_functions(build)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Spec compilation: a start-up fee, not a hot path
+# ----------------------------------------------------------------------
+def test_spec_compile_overhead(benchmark):
+    corpus = [builtin_spec(name) for name in builtin_spec_names()]
+
+    def regenerate():
+        started = time.perf_counter()
+        for _ in range(COMPILE_ROUNDS):
+            for raw in corpus:
+                compile_spec(OperatorSpec.from_dict(raw))
+        compile_all = (time.perf_counter() - started) / COMPILE_ROUNDS
+        operators = list(operator_library().values())
+        images = _fresh_images()
+        started = time.perf_counter()
+        for image in images:
+            collect_sites(image, operators)
+        scan = time.perf_counter() - started
+        return compile_all, scan
+
+    compile_all, scan = benchmark.pedantic(regenerate, rounds=1,
+                                           iterations=1)
+    per_spec = compile_all / len(corpus)
+    scans_per_compile = scan / max(compile_all, 1e-9)
+    RESULTS["spec_compile"] = {
+        "specs": len(corpus),
+        "compile_ms_per_spec": round(per_spec * 1e3, 4),
+        "corpus_compile_ms": round(compile_all * 1e3, 3),
+        "scans_per_compile": round(scans_per_compile, 1),
+    }
+    print()
+    print(f"compile: {per_spec * 1e3:.3f}ms/spec  "
+          f"corpus={compile_all * 1e3:.2f}ms  "
+          f"= 1/{scans_per_compile:.0f} of a build scan")
+    assert compile_all < scan, (
+        f"compiling {len(corpus)} specs ({compile_all * 1e3:.1f}ms) "
+        f"costs more than a whole-build scan ({scan * 1e3:.1f}ms)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Scan throughput: DSL re-expressions vs their class twins
+# ----------------------------------------------------------------------
+def test_dsl_scan_relative_throughput(benchmark):
+    builtin_ops = list(operator_library().values())
+    replaced = {
+        operator_for(name).fault_type: compile_spec(builtin_spec(name))
+        for name in builtin_spec_names()
+    }
+    dsl_ops = [
+        replaced.get(operator.fault_type, operator)
+        for operator in builtin_ops
+    ]
+
+    def one_scan(operators):
+        # The scan_build shape: a fresh image per function, then the
+        # shared single pass.  Timing the whole thing measures the
+        # slowdown a campaign actually sees on a cold (uncached) scan.
+        # GC is settled before and paused during the timed region so
+        # one side's garbage is never collected on the other's clock.
+        gc.collect()
+        gc.disable()
+        sites = 0
+        started = time.perf_counter()
+        for image in _fresh_images():
+            buckets = collect_sites(image, operators)
+            sites += sum(map(len, buckets.values()))
+        elapsed = time.perf_counter() - started
+        gc.enable()
+        return elapsed, sites
+
+    def regenerate():
+        # Interleaved rounds; each round's halves run back to back
+        # under the same ambient load, so the best *paired* ratio is
+        # the noise-robust estimate of relative throughput.
+        builtin_time = dsl_time = float("inf")
+        best_ratio = 0.0
+        sites_builtin = sites_dsl = 0
+        for _ in range(SCAN_ROUNDS):
+            round_builtin, sites_builtin = one_scan(builtin_ops)
+            round_dsl, sites_dsl = one_scan(dsl_ops)
+            builtin_time = min(builtin_time, round_builtin)
+            dsl_time = min(dsl_time, round_dsl)
+            best_ratio = max(best_ratio, round_builtin / round_dsl)
+        return builtin_time, dsl_time, best_ratio, (
+            sites_builtin, sites_dsl
+        )
+
+    builtin_time, dsl_time, relative, (sites_builtin, sites_dsl) = (
+        benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    )
+    assert sites_builtin == sites_dsl  # same faultload, both ways
+    RESULTS["dsl_scan"] = {
+        "operators": len(builtin_ops),
+        "dsl_operators": len(replaced),
+        "builtin_scan_ms": round(builtin_time * 1e3, 2),
+        "dsl_scan_ms": round(dsl_time * 1e3, 2),
+        "relative_throughput": round(relative, 3),
+    }
+    print()
+    print(f"scan: builtin={builtin_time * 1e3:.1f}ms  "
+          f"dsl={dsl_time * 1e3:.1f}ms  "
+          f"relative-throughput={relative:.3f}")
+    assert relative >= RELATIVE_THROUGHPUT_FLOOR, (
+        f"DSL scan keeps only {relative:.0%} of built-in throughput "
+        f"(floor {RELATIVE_THROUGHPUT_FLOOR:.0%})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Emit the checked-in record (runs last in this file)
+# ----------------------------------------------------------------------
+def test_write_bench_json():
+    assert RESULTS, "run the DSL benches before the JSON writer"
+    payload = {
+        "bench": "dsl",
+        "python": sys.version.split()[0],
+        "smoke": SMOKE,
+        **RESULTS,
+    }
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

@@ -82,6 +82,17 @@ def _apply_snapshot(args, config):
         snapshot_cache().resize(args.snapshot_cache)
 
 
+def _add_operator_specs(parser):
+    parser.add_argument(
+        "--operator-spec", dest="operator_specs", action="append",
+        metavar="FILE", default=None,
+        help="declarative operator spec JSON (repeatable; DESIGN.md "
+             "§16) — a re-expression (\"replaces\": true) swaps in for "
+             "its built-in Table 1 operator, a new fault type extends "
+             "the faultload",
+    )
+
+
 def _add_activation(parser):
     parser.add_argument(
         "--adaptive-slots", action="store_true",
@@ -186,7 +197,51 @@ def _make_config(args, **overrides):
     return config
 
 
+def _load_operator_specs(paths):
+    """Load, validate and install-check ``--operator-spec`` files.
+
+    Returns ``(specs, error)``: a tuple of canonical spec dicts ready
+    for ``ExperimentConfig.operator_specs``, or an rc-2 error string
+    whose message is the validator's path-precise complaint.
+    """
+    if not paths:
+        return None, None
+    from repro.gswfit.dsl import OperatorSpec, SpecValidationError
+
+    specs = []
+    seen = {}
+    for path in paths:
+        try:
+            spec = OperatorSpec.load(path)
+        except SpecValidationError as exc:
+            return None, f"--operator-spec: {exc}"
+        previous = seen.get(spec.fault_type_name)
+        if previous is not None and previous != str(path):
+            return None, (
+                f"--operator-spec: duplicate spec for fault type "
+                f"{spec.fault_type_name!r} ({previous} and {path})"
+            )
+        seen[spec.fault_type_name] = str(path)
+        specs.append(spec.to_dict())
+    return tuple(specs), None
+
+
+def _install_operator_specs(specs):
+    """Register compiled operators for already-validated spec dicts."""
+    if specs:
+        from repro.gswfit.dsl import install_spec_operators
+
+        install_spec_operators(specs)
+
+
 def _cmd_scan(args):
+    specs, error = _load_operator_specs(
+        getattr(args, "operator_specs", None)
+    )
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    _install_operator_specs(specs)
     build = get_build(args.os_codename)
     faultload = scan_build(build)
     counts = faultload.counts_by_type()
@@ -269,6 +324,11 @@ def _validate_campaign_args(args):
     traceback from deep inside the campaign."""
     if args.resume and not args.journal:
         return "--resume requires --journal"
+    _specs, error = _load_operator_specs(
+        getattr(args, "operator_specs", None)
+    )
+    if error is not None:
+        return error
     if args.workers is not None and args.workers < 1:
         return f"--workers must be >= 1, got {args.workers}"
     if args.slots_per_shard is not None and args.slots_per_shard < 1:
@@ -321,6 +381,10 @@ def _campaign_config(args):
     config.inject_faults = not args.no_inject
     config.track_activation = not args.no_track_activation
     config.adaptive_slots = args.adaptive_slots
+    specs, _error = _load_operator_specs(
+        getattr(args, "operator_specs", None)
+    )
+    config.operator_specs = specs
     _apply_snapshot(args, config)
     _apply_sequential(args, config)
     return config
@@ -573,6 +637,7 @@ def build_parser():
         "--validate", action="store_true",
         help="verify every location builds a mutant before writing",
     )
+    _add_operator_specs(scan)
     scan.set_defaults(func=_cmd_scan)
 
     profile = subparsers.add_parser(
@@ -709,6 +774,7 @@ def build_parser():
     _add_activation(campaign)
     _add_snapshot(campaign)
     _add_sequential(campaign)
+    _add_operator_specs(campaign)
     campaign.add_argument("--export",
                           help="write results to this directory")
     campaign.set_defaults(func=_cmd_campaign)

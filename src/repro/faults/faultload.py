@@ -10,7 +10,7 @@ specific for a given OS and an intended domain".
 import json
 
 from repro.faults.location import FaultLocation
-from repro.faults.types import FaultType, iter_fault_types
+from repro.faults.types import iter_fault_types, lookup_fault_type
 from repro.sim.rng import SeededRng
 
 __all__ = ["Faultload"]
@@ -55,7 +55,11 @@ class Faultload:
         """Faults per fault type, in Table 1/3 order (paper Table 3 row)."""
         counts = {fault_type: 0 for fault_type in iter_fault_types()}
         for location in self.locations:
-            counts[location.fault_type] += 1
+            # .get covers a location whose dynamic fault type was
+            # registered after this faultload's types were enumerated.
+            counts[location.fault_type] = counts.get(
+                location.fault_type, 0
+            ) + 1
         return counts
 
     def strata_by_type(self):
@@ -103,8 +107,7 @@ class Faultload:
 
     def restrict_to_types(self, fault_types):
         """New faultload keeping only the given fault types."""
-        allowed = {FaultType(ft) if isinstance(ft, str) else ft
-                   for ft in fault_types}
+        allowed = {lookup_fault_type(ft) for ft in fault_types}
         kept = [loc for loc in self.locations if loc.fault_type in allowed]
         return Faultload(self.os_codename, kept,
                          name=f"{self.name}-typed")

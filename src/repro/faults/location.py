@@ -11,7 +11,7 @@ the experiments repeatable.
 
 from dataclasses import dataclass, field
 
-from repro.faults.types import FaultType
+from repro.faults.types import FaultType, lookup_fault_type
 
 __all__ = ["FaultLocation"]
 
@@ -73,7 +73,7 @@ class FaultLocation:
             module=data["module"],
             display_module=data["display_module"],
             function=data["function"],
-            fault_type=FaultType(data["fault_type"]),
+            fault_type=lookup_fault_type(data["fault_type"]),
             site_key=data["site_key"],
             lineno=data.get("lineno", 0),
             description=data.get("description", ""),

@@ -109,6 +109,7 @@ class FunctionImage:
         self._transfer_marks = None
         self._local_names = None
         self._init_block_length = None
+        self._body_positions = None
 
     def node_at(self, index):
         """Node at walk position ``index`` (scanner-time tree)."""
@@ -177,6 +178,19 @@ class FunctionImage:
         if self._init_block_length is None:
             self._init_block_length = init_block_length(self.fdef)
         return self._init_block_length
+
+    def body_positions(self):
+        """``{id(stmt): index}`` over the top-level body (cached).
+
+        Several scan preconditions key on a statement's position in
+        ``fdef.body``; sharing one map keeps each per-function
+        precomputation a dict lookup instead of a fresh dict build.
+        """
+        if self._body_positions is None:
+            self._body_positions = {
+                id(stmt): i for i, stmt in enumerate(self.fdef.body)
+            }
+        return self._body_positions
 
     def absolute_lineno(self, node):
         """Absolute source line of ``node`` in the original file."""

@@ -41,7 +41,11 @@ from pathlib import Path
 
 from repro.faults.faultload import Faultload
 from repro.gswfit.mutator import MutantError, build_mutant, resolve_function
-from repro.gswfit.operators import operator_for, operator_library
+from repro.gswfit.operators import (
+    operator_for,
+    operator_library,
+    registry_generation,
+)
 from repro.gswfit.scanner import scan_build
 
 __all__ = [
@@ -65,11 +69,15 @@ _fingerprint_cache = {}
 def library_fingerprint(build):
     """Hash of everything a scan's output depends on, for one build.
 
-    Covers the source of the full operator library (search patterns and
-    preconditions shape the emitted sites) and the source of the build's
-    FIT modules (the code being scanned).
+    Covers the behaviour of the full operator library (search patterns
+    and preconditions shape the emitted sites; class operators
+    fingerprint their source, spec-compiled operators their canonical
+    spec JSON) and the source of the build's FIT modules (the code being
+    scanned).  The memo key includes the operator registry generation,
+    so installing or replacing a DSL operator invalidates it.
     """
-    cached = _fingerprint_cache.get(build.codename)
+    memo_key = (build.codename, registry_generation())
+    cached = _fingerprint_cache.get(memo_key)
     if cached is not None:
         return cached
     hasher = hashlib.sha256()
@@ -77,13 +85,13 @@ def library_fingerprint(build):
     for fault_type in sorted(library, key=lambda ft: ft.value):
         hasher.update(fault_type.value.encode("utf-8"))
         hasher.update(
-            inspect.getsource(type(library[fault_type])).encode("utf-8")
+            library[fault_type].fingerprint_payload().encode("utf-8")
         )
     for display_name, module in build.modules:
         hasher.update(display_name.encode("utf-8"))
         hasher.update(inspect.getsource(module).encode("utf-8"))
     fingerprint = hasher.hexdigest()
-    _fingerprint_cache[build.codename] = fingerprint
+    _fingerprint_cache[memo_key] = fingerprint
     return fingerprint
 
 
@@ -178,13 +186,16 @@ MUTANT_CACHE_STATS = _MutantCacheStats()
 
 
 def _operator_fingerprint(fault_type):
-    cached = _operator_fp_memo.get(fault_type)
+    # Memo key includes the registry generation: a DSL operator replacing
+    # this fault type's implementation must change the fingerprint.
+    memo_key = (fault_type, registry_generation())
+    cached = _operator_fp_memo.get(memo_key)
     if cached is None:
         operator = operator_for(fault_type)
         cached = hashlib.sha256(
-            inspect.getsource(type(operator)).encode("utf-8")
+            operator.fingerprint_payload().encode("utf-8")
         ).hexdigest()
-        _operator_fp_memo[fault_type] = cached
+        _operator_fp_memo[memo_key] = cached
     return cached
 
 

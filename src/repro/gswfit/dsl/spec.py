@@ -1,0 +1,124 @@
+"""Operator specs: the validated, canonical form and its digest.
+
+An :class:`OperatorSpec` wraps the canonical dict produced by
+:func:`~repro.gswfit.dsl.schema.validate_spec`.  ``to_dict`` returns
+that canonical form, so ``spec -> compile -> to_dict`` round-trips
+bit-for-bit, and :attr:`OperatorSpec.digest` — the sha256 of the
+sorted-key canonical JSON — is the identity the cache layer and the
+campaign key fold in: edit a spec and every mutant/scan cache entry
+and campaign key derived from it changes.
+"""
+
+import hashlib
+import json
+
+from repro.gswfit.dsl.schema import SpecValidationError, validate_spec
+
+__all__ = ["OperatorSpec"]
+
+
+class OperatorSpec:
+    """One validated operator spec (immutable once constructed)."""
+
+    def __init__(self, canonical):
+        self._canonical = canonical
+
+    @classmethod
+    def from_dict(cls, data, source=None):
+        """Validate ``data`` (a raw spec dict) into an :class:`OperatorSpec`.
+
+        Raises :class:`~repro.gswfit.dsl.schema.SpecValidationError`
+        with a path-precise message on any problem.
+        """
+        return cls(validate_spec(data, source=source))
+
+    @classmethod
+    def load(cls, path):
+        """Load and validate a spec from a JSON file.
+
+        JSON syntax errors are reported with the file, line and column;
+        validation errors carry the file plus the ``$.path`` location.
+        """
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise SpecValidationError("$", str(exc), source=str(path))
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecValidationError(
+                "$", f"invalid JSON at line {exc.lineno} column "
+                f"{exc.colno}: {exc.msg}", source=str(path),
+            )
+        return cls.from_dict(data, source=str(path))
+
+    @property
+    def fault_type_name(self):
+        """The spec's fault type id (a string)."""
+        return self._canonical["fault_type"]
+
+    @property
+    def replaces(self):
+        """True when the spec re-expresses a built-in Table 1 operator."""
+        return self._canonical["replaces"]
+
+    @property
+    def pattern(self):
+        """The canonical pattern section."""
+        return self._canonical["pattern"]
+
+    @property
+    def preconditions(self):
+        """The canonical preconditions list."""
+        return self._canonical["preconditions"]
+
+    @property
+    def mutation(self):
+        """The canonical mutation section."""
+        return self._canonical["mutation"]
+
+    def metadata(self):
+        """Fault-type metadata for new types (empty for re-expressions)."""
+        if self.replaces:
+            return {}
+        return {
+            "description": self._canonical["description"],
+            "nature": self._canonical["nature"],
+            "odc_type": self._canonical["odc_type"],
+            "field_coverage_percent":
+                self._canonical["field_coverage_percent"],
+        }
+
+    def to_dict(self):
+        """The canonical spec dict (a deep copy; mutate freely)."""
+        return json.loads(self.canonical_json())
+
+    def canonical_json(self):
+        """Sorted-key canonical JSON — the digest and fingerprint input."""
+        return json.dumps(
+            self._canonical, sort_keys=True, separators=(",", ":")
+        )
+
+    @property
+    def digest(self):
+        """sha256 of the canonical JSON; the spec's stable identity."""
+        return hashlib.sha256(
+            self.canonical_json().encode("utf-8")
+        ).hexdigest()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, OperatorSpec)
+            and self._canonical == other._canonical
+        )
+
+    def __hash__(self):
+        return hash(self.canonical_json())
+
+    def __repr__(self):
+        role = "replaces" if self.replaces else "defines"
+        return (
+            f"<OperatorSpec {role} {self.fault_type_name} "
+            f"{self.digest[:12]}>"
+        )

@@ -7,9 +7,17 @@ plus a mutation rule
 preconditions that keep the emulation representative (e.g. MIFS never
 removes an ``if`` whose body returns, MVI only removes initializations of
 variables that are used later).
+
+The library is extensible at runtime: :func:`register_operator` overlays
+dynamic operators — compiled from declarative specs (DESIGN.md §16) —
+on top of the Table 1 classes, either *replacing* a built-in (a DSL
+re-expression keeps its fault type, fault ids and digests) or *adding*
+a new dynamic fault type.  :func:`registry_generation` is a counter the
+cache layer folds into its memo keys so fingerprints never go stale
+across registrations.
 """
 
-from repro.faults.types import FaultType
+from repro.faults.types import FaultType, lookup_fault_type
 from repro.gswfit.operators.base import (
     MutationOperator,
     Site,
@@ -42,6 +50,11 @@ __all__ = [
     "collect_sites",
     "operator_for",
     "operator_library",
+    "operator_provenance",
+    "register_operator",
+    "registry_generation",
+    "reset_dynamic_operators",
+    "unregister_operator",
 ]
 
 _LIBRARY = {
@@ -60,13 +73,84 @@ _LIBRARY = {
 }
 
 
+#: Dynamic overlay: spec-compiled operators, keyed by fault type.  A key
+#: also present in ``_LIBRARY`` is a re-expression of that built-in; a
+#: key absent from it is a new dynamic fault type (appended after the
+#: Table 1 twelve in library order).
+_DYNAMIC = {}
+
+#: Bumped on every overlay change; cache memo keys include it.
+_generation = 0
+
+
+def registry_generation():
+    """Monotonic counter that changes whenever the overlay changes."""
+    return _generation
+
+
 def operator_library():
-    """The full operator library, keyed by fault type (Table 1 order)."""
-    return dict(_LIBRARY)
+    """The full operator library, keyed by fault type.
+
+    Table 1 order first (built-ins, with any DSL re-expression applied
+    in place), then dynamic fault types in registration order.
+    """
+    library = dict(_LIBRARY)
+    library.update(_DYNAMIC)
+    return library
 
 
 def operator_for(fault_type):
     """The operator implementing ``fault_type`` (accepts the enum or name)."""
     if isinstance(fault_type, str):
-        fault_type = FaultType(fault_type)
+        fault_type = lookup_fault_type(fault_type)
+    if fault_type in _DYNAMIC:
+        return _DYNAMIC[fault_type]
     return _LIBRARY[fault_type]
+
+
+def operator_provenance(fault_type):
+    """``"builtin"`` or ``"dsl"`` for the operator behind ``fault_type``."""
+    try:
+        operator = operator_for(fault_type)
+    except (KeyError, ValueError):
+        return "unknown"
+    return getattr(operator, "provenance", "builtin")
+
+
+def register_operator(operator, replace=False):
+    """Overlay ``operator`` onto the library under its fault type.
+
+    ``replace=True`` is required to shadow a built-in Table 1 operator
+    (the deliberate act of a ``"replaces": true`` spec); without it a
+    built-in collision raises ``ValueError``.  Registering a dynamic
+    fault type again simply updates the overlay.  Every change bumps
+    :func:`registry_generation`, invalidating fingerprint memos.
+    """
+    global _generation
+    fault_type = operator.fault_type
+    if fault_type in _LIBRARY and not replace:
+        raise ValueError(
+            f"operator for {fault_type.value} would shadow the built-in "
+            "Table 1 operator; pass replace=True (spec: \"replaces\": "
+            "true) to re-express it"
+        )
+    _DYNAMIC[fault_type] = operator
+    _generation += 1
+    return operator
+
+
+def unregister_operator(fault_type):
+    """Remove one dynamic overlay entry (no-op if absent)."""
+    global _generation
+    if isinstance(fault_type, str):
+        fault_type = lookup_fault_type(fault_type)
+    if _DYNAMIC.pop(fault_type, None) is not None:
+        _generation += 1
+
+
+def reset_dynamic_operators():
+    """Drop the whole dynamic overlay (test isolation)."""
+    global _generation
+    if _DYNAMIC:
+        _DYNAMIC.clear()
+        _generation += 1

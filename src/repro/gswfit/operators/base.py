@@ -20,6 +20,7 @@ the protocol:
 """
 
 import ast
+import inspect
 from dataclasses import dataclass
 
 from repro.gswfit.astutils import STATEMENT_BLOCK_FIELDS
@@ -82,6 +83,9 @@ class MutationOperator:
     #: When True, :meth:`visit_block` receives every statement list of
     #: the function (bodies, else/finally arms) in walk order.
     scans_blocks = False
+    #: Where the operator came from: ``"builtin"`` for the Table 1
+    #: classes, ``"dsl"`` for operators compiled from declarative specs.
+    provenance = "builtin"
 
     def begin_scan(self, image):
         """Per-function precomputation; its result is passed to visits."""
@@ -128,6 +132,16 @@ class MutationOperator:
         self.apply(tree, node_list, site)
         ast.fix_missing_locations(tree)
         return tree
+
+    def fingerprint_payload(self):
+        """Text that captures this operator's behaviour for cache keys.
+
+        Class operators fingerprint their source code, so editing an
+        operator invalidates scan and mutant caches.  Spec-compiled
+        operators override this with the canonical spec JSON — many
+        share one class, so class source alone would under-key them.
+        """
+        return inspect.getsource(type(self))
 
     def __repr__(self):
         name = self.fault_type.value if self.fault_type else "?"

@@ -18,7 +18,6 @@ equivalence tests and the hot-path bench compare against).
 
 from repro.faults.faultload import Faultload
 from repro.faults.location import FaultLocation
-from repro.faults.types import iter_fault_types
 from repro.gswfit.astutils import FunctionImage
 from repro.gswfit.operators import collect_sites, operator_library
 
@@ -31,10 +30,15 @@ __all__ = [
 
 
 def _locations_from_sites(image, function, display_module, sites_by_type):
-    """Render per-type site lists as FaultLocations, Table 1 order."""
+    """Render per-type site lists as FaultLocations, library order.
+
+    ``sites_by_type`` is built from :func:`operator_library`, so its
+    iteration order is Table 1 first, then dynamic (spec-defined) fault
+    types in registration order.
+    """
     locations = []
-    for fault_type in iter_fault_types():
-        for site in sites_by_type[fault_type]:
+    for fault_type, sites in sites_by_type.items():
+        for site in sites:
             locations.append(FaultLocation(
                 module=image.module_name,
                 display_module=display_module,

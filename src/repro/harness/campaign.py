@@ -264,6 +264,13 @@ def run_shard(config, iteration, shard, mutant_cache_dir=None):
     inside it) so the campaign key — a pure function of the experiment's
     parameters — is unaffected by where a machine keeps its caches.
     """
+    if config.operator_specs:
+        # Workers may be freshly spawned (or remote fabric) processes:
+        # the dynamic operators behind the shard's fault ids must exist
+        # before any mutant is resolved.  Idempotent by spec digest.
+        from repro.gswfit.dsl import install_spec_operators
+
+        install_spec_operators(config.operator_specs)
     shard_config = replace(config)
     shard_config.seed = shard_seed(config.seed, shard.index)
     faultload = Faultload(
@@ -624,6 +631,13 @@ class ParallelCampaign:
         self.backend = backend
         self.fabric_listen = fabric_listen
         self.fabric_loopback = fabric_loopback
+        if config.operator_specs:
+            # Install DSL operators in the parent before anything scans
+            # or computes fingerprints; workers repeat this in
+            # :func:`run_shard` (idempotent by spec digest).
+            from repro.gswfit.dsl import install_spec_operators
+
+            install_spec_operators(config.operator_specs)
         self.config = config
         self.workers = max(1, int(workers or os.cpu_count() or 1))
         if backend == "fabric":

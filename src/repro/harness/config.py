@@ -144,6 +144,15 @@ class ExperimentConfig:
     # convergence.  None = the stratum's full planned size.
     sequential_max_slots: int | None = None
 
+    # Declarative operator specs (DESIGN.md §16): a tuple of *canonical*
+    # spec dicts, installed into the operator registry by the campaign
+    # parent and by every worker before scanning (the config pickles to
+    # them, so pool, spawn, and fabric workers all see the same library).
+    # Part of ``asdict()``, hence of the campaign key — and each spec's
+    # canonical JSON is the operator's cache fingerprint, so scan and
+    # mutant caches stay sound across spec edits.  None = built-ins only.
+    operator_specs: tuple | None = None
+
     def resolved_sequential_batch(self):
         """The effective sequential batch size in slots."""
         return int(self.sequential_batch_slots or self.conformance_slots)

@@ -98,6 +98,19 @@ def _spec_argv(spec):
                     f"spec key {raw_key!r} expects a value, got a "
                     "boolean"
                 )
+            if isinstance(value, (list, tuple)):
+                # Repeatable flags (e.g. operator_specs) take a JSON
+                # array; each item becomes one occurrence of the flag.
+                for item in value:
+                    if not isinstance(item, (str, int, float)) or (
+                        isinstance(item, bool)
+                    ):
+                        raise SpecError(
+                            f"spec key {raw_key!r} items must be "
+                            f"scalars, got {item!r}"
+                        )
+                    argv.extend([flag, str(item)])
+                continue
             argv.extend([flag, str(value)])
     return argv
 

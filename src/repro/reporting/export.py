@@ -190,13 +190,20 @@ def export_faultload_summary(faultload, directory):
     faultload.save(faultload_path)
     written.append(faultload_path)
 
+    from repro.gswfit.operators import operator_provenance
+
+    counts = faultload.counts_by_type()
     summary = {
         "name": faultload.name,
         "os": faultload.os_codename,
         "total": len(faultload),
         "by_type": {
             fault_type.value: count
-            for fault_type, count in faultload.counts_by_type().items()
+            for fault_type, count in counts.items()
+        },
+        "operator_provenance": {
+            fault_type.value: operator_provenance(fault_type)
+            for fault_type in counts
         },
         "by_function": {
             f"{module}!{function}": count

@@ -20,9 +20,17 @@ __all__ = [
 
 
 def table1_fault_types():
-    """Table 1: fault types, descriptions, field coverage, ODC types."""
+    """Table 1: fault types, descriptions, field coverage, ODC types.
+
+    A Provenance column records whether each type's operator is a
+    built-in Table 1 class or a DSL spec (a re-expression or a new
+    dynamic fault type) — dynamic types appear after the twelve.
+    """
+    from repro.gswfit.operators import operator_provenance
+
     table = TableBuilder(
-        ["Fault type", "Description", "Fault coverage", "ODC type"],
+        ["Fault type", "Description", "Fault coverage", "ODC type",
+         "Provenance"],
         title="Table 1 - Representativity of the fault types",
     )
     for fault_type in iter_fault_types():
@@ -32,9 +40,10 @@ def table1_fault_types():
             info.description,
             f"{info.field_coverage_percent:.2f} %",
             info.odc_type.value,
+            operator_provenance(fault_type),
         )
     table.add_row("", "Total faults coverage",
-                  f"{total_field_coverage():.2f} %", "")
+                  f"{total_field_coverage():.2f} %", "", "")
     return table
 
 
